@@ -1,0 +1,68 @@
+"""Ablation — EC-Cache's late binding (read k+1, join on k).
+
+Sec. 3.2: late binding is EC-Cache's straggler shield.  With stragglers
+on, reading the bare k shards should hurt its tail; without stragglers the
+extra read is mostly wasted bandwidth.
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.cluster import SimulationConfig, StragglerInjector, simulate_reads
+from repro.experiments.config import DEFAULTS, EC2_CLUSTER
+from repro.policies import ECCachePolicy
+from repro.workloads import paper_fileset, poisson_trace
+
+
+def _run(scale=1.0):
+    pop = paper_fileset(300, size_mb=100, zipf_exponent=1.05, total_rate=14.0)
+    trace = poisson_trace(
+        pop, n_requests=DEFAULTS.requests(scale), seed=DEFAULTS.seed_trace
+    )
+    rows = []
+    for late in (True, False):
+        policy = ECCachePolicy(
+            pop, EC2_CLUSTER, late_binding=late, seed=DEFAULTS.seed_policy
+        )
+        for stragglers, label in (
+            (StragglerInjector.none(), "clean"),
+            (StragglerInjector.injected(), "stragglers"),
+        ):
+            s = simulate_reads(
+                trace,
+                policy,
+                EC2_CLUSTER,
+                SimulationConfig(
+                    jitter="deterministic", stragglers=stragglers, seed=7
+                ),
+            ).summary()
+            rows.append(
+                {
+                    "late_binding": late,
+                    "environment": label,
+                    "mean_s": s.mean,
+                    "p95_s": s.p95,
+                }
+            )
+    return rows
+
+
+def test_ablation_late_binding(benchmark, report):
+    rows = run_experiment(benchmark, _run, scale=bench_scale())
+    report(rows, "Ablation — EC-Cache late binding on/off")
+    get = lambda late, env: next(
+        r
+        for r in rows
+        if r["late_binding"] is late and r["environment"] == env
+    )
+    # Under stragglers, late binding improves the tail.
+    assert (
+        get(True, "stragglers")["p95_s"] <= get(False, "stragglers")["p95_s"]
+    )
+    # Stragglers hurt the bare-k configuration more than the late-bound one.
+    penalty_bare = (
+        get(False, "stragglers")["mean_s"] - get(False, "clean")["mean_s"]
+    )
+    penalty_late = (
+        get(True, "stragglers")["mean_s"] - get(True, "clean")["mean_s"]
+    )
+    assert penalty_late < penalty_bare

@@ -1,0 +1,107 @@
+"""Ablation — online partition adjustment vs periodic repartition (Sec. 8).
+
+The paper's future-work sketch: when a file bursts hot between 12-hour
+repartition rounds, split its existing partitions in a distributed manner
+instead of waiting.  We burst a cold file, let the online adjuster react,
+and compare (a) the simulated latency before/after the adjustment and
+(b) the data moved against a full Algorithm 2 repartition.
+"""
+
+import numpy as np
+
+from conftest import bench_scale, run_experiment
+
+from repro.cluster import SimulationConfig, StragglerInjector, simulate_reads
+from repro.common import MB
+from repro.core import OnlineAdjuster, plan_repartition
+from repro.core.partitioner import partition_counts
+from repro.experiments.config import DEFAULTS, EC2_CLUSTER
+from repro.policies import SPCachePolicy
+from repro.workloads import paper_fileset, poisson_trace
+
+
+def _run(scale=1.0):
+    alpha = 2.0 / MB
+    pop = paper_fileset(120, size_mb=100, zipf_exponent=1.05, total_rate=12.0)
+    burst_target = 100  # a cold file (k = 1) that suddenly goes hot
+
+    # The burst: the cold file jumps to the popularity of the #2 file.
+    new_pops = pop.popularities.copy()
+    new_pops[burst_target] = pop.popularities[1]
+    burst_pop = pop.with_popularities(new_pops)
+
+    trace = poisson_trace(
+        burst_pop, n_requests=DEFAULTS.requests(scale), seed=DEFAULTS.seed_trace
+    )
+    cfg = SimulationConfig(
+        jitter="deterministic", stragglers=StragglerInjector.natural(), seed=9
+    )
+
+    def simulate(ks):
+        policy = SPCachePolicy(burst_pop, EC2_CLUSTER, alpha=alpha, seed=4)
+        policy.servers_of = [
+            policy.servers_of[i][: int(k)]
+            if policy.servers_of[i].size >= k
+            else np.arange(int(k))
+            for i, k in enumerate(ks)
+        ]
+        policy.piece_sizes = [
+            np.full(int(k), burst_pop.sizes[i] / k) for i, k in enumerate(ks)
+        ]
+        return simulate_reads(trace, policy, EC2_CLUSTER, cfg).summary()
+
+    stale_ks = partition_counts(pop, alpha, n_servers=30)  # pre-burst layout
+    before = simulate(stale_ks)
+
+    adj = OnlineAdjuster(
+        burst_pop, EC2_CLUSTER, alpha, stale_ks, window=4000, tolerance=1.5
+    )
+    adj.observe_many(trace.file_ids[: min(3000, trace.n_requests)])
+    rounds = 0
+    while rounds < 8 and adj.step():
+        rounds += 1
+    after = simulate(adj.ks)
+
+    plan = plan_repartition(
+        burst_pop,
+        EC2_CLUSTER,
+        stale_ks,
+        [np.arange(int(k)) for k in stale_ks],
+        alpha=alpha,
+        seed=5,
+    )
+    full_moved = float(
+        np.sum(burst_pop.sizes[plan.changed])
+    )  # full repartition collects+redistributes whole files
+
+    return [
+        {
+            "variant": "stale layout (burst unhandled)",
+            "mean_s": before.mean,
+            "p95_s": before.p95,
+            "moved_mb": 0.0,
+        },
+        {
+            "variant": f"online adjustment ({rounds} rounds)",
+            "mean_s": after.mean,
+            "p95_s": after.p95,
+            "moved_mb": adj.total_moved_bytes / MB,
+        },
+        {
+            "variant": "full repartition (Algorithm 2)",
+            "mean_s": after.mean,  # same end state, different cost
+            "p95_s": after.p95,
+            "moved_mb": full_moved / MB,
+        },
+    ]
+
+
+def test_ablation_online_adjustment(benchmark, report):
+    rows = run_experiment(benchmark, _run, scale=bench_scale())
+    report(rows, "Ablation — online split/merge vs periodic repartition")
+    stale, online, full = rows
+    # Handling the burst must help latency.
+    assert online["mean_s"] < stale["mean_s"]
+    # And the distributed adjustment moves less data than a full
+    # collect-and-redistribute of every changed file.
+    assert online["moved_mb"] <= full["moved_mb"] + 1e-9

@@ -1,0 +1,19 @@
+"""Fig. 1 — Yahoo! trace statistics (access-count buckets vs mean size).
+
+Paper: ~78 % of files accessed < 10 times; ~2 % accessed >= 100 times;
+hot files 15-30x larger than cold ones.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments.fig01_trace_stats import run_fig01
+
+
+def test_fig01_trace_stats(benchmark, report):
+    rows = run_experiment(benchmark, run_fig01)
+    report(rows, "Fig. 1 — synthetic Yahoo! trace statistics")
+    by_bucket = {r["bucket"]: r for r in rows}
+    assert abs(by_bucket["[1,10)"]["file_fraction"] - 0.78) < 0.03
+    assert abs(by_bucket[">=100"]["file_fraction"] - 0.02) < 0.01
+    ratio = by_bucket["hot/cold size ratio"]["mean_size_mb"]
+    assert 15 <= ratio <= 30

@@ -1,0 +1,25 @@
+"""Fig. 2 + Table 1 — caching's benefit erodes under load imbalance.
+
+Paper: caching wins ~5x at rate 5; by rate >= 9 hot spots make it nearly
+irrelevant.  CV stays > 1 in both systems (Table 1).
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig02_caching_benefit import run_fig02
+
+
+def test_fig02_caching_benefit(benchmark, report):
+    rows = run_experiment(benchmark, run_fig02, scale=bench_scale())
+    report(rows, "Fig. 2 / Table 1 — cached vs disk, rates 5-10")
+    by_rate = {r["rate"]: r for r in rows}
+    # Caching helps a lot at light load...
+    assert by_rate[5]["speedup"] > 3.0
+    # ...and hot spots erode the cached system sharply as load grows
+    # (the paper's Fig. 2 story: the curves converge).
+    assert by_rate[10]["cached_mean_s"] > 4 * by_rate[5]["cached_mean_s"]
+    # The caching advantage is past its peak by rate 10.
+    peak = max(r["speedup"] for r in rows)
+    assert by_rate[10]["speedup"] < peak
+    # Table 1's marker of hot spots: high CV under skew at heavy load.
+    assert by_rate[10]["cached_cv"] > 1.0

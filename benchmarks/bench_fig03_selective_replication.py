@@ -1,0 +1,28 @@
+"""Fig. 3 + Table 2 — selective replication trades memory for latency.
+
+Paper: memory grows linearly with the replica count while latency improves
+only sublinearly; CV drops below ~0.7 only at r >= 4.
+"""
+
+import numpy as np
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig03_replication import run_fig03
+
+
+def test_fig03_selective_replication(benchmark, report):
+    rows = run_experiment(benchmark, run_fig03, scale=bench_scale())
+    report(rows, "Fig. 3 / Table 2 — replication factor sweep at rate 6")
+    means = [r["mean_s"] for r in rows]
+    overheads = [r["memory_overhead_pct"] for r in rows]
+    # Linear memory growth: +10 % of the dataset per extra replica round.
+    assert np.allclose(np.diff(overheads), 10.0)
+    # Latency improves with replicas overall...
+    assert means[-1] < means[0]
+    # ...but sublinearly: the last replica helps less than the first.
+    first_gain = means[0] - means[1]
+    last_gain = means[3] - means[4]
+    assert last_gain < first_gain
+    # CV drops as replicas absorb the hot spots (Table 2's trend).
+    assert rows[4]["cv"] < rows[0]["cv"]

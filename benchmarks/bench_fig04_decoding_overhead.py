@@ -1,0 +1,33 @@
+"""Fig. 4 — EC-Cache decoding overhead versus file size.
+
+Paper: overhead (decode time / read latency) grows with file size and
+stays >= 15 % for >= 100 MB files on ISA-L-class hardware; their
+simulations use 20 %.  We measure the real GF(256) codec and also report
+the ISA-L-calibrated normalization (see the runner's docstring).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments.fig04_decoding import run_fig04
+
+
+def test_fig04_decoding_overhead(benchmark, report):
+    rows = run_experiment(benchmark, run_fig04)
+    report(rows, "Fig. 4 — (10,14) Reed-Solomon decode overhead")
+    # Overhead grows (or saturates) with file size — small files are
+    # dominated by fixed costs on the transfer side.
+    small = rows[0]["overhead_calibrated"]
+    big = rows[-1]["overhead_calibrated"]
+    assert big >= small * 0.8
+    # The calibrated overhead for >= 100 MB files sits in the paper's
+    # 10-30 % band.
+    for row in rows:
+        if row["size_mb"] >= 100:
+            assert 0.05 <= row["overhead_calibrated"] <= 0.35
+    # Our table-gather NumPy decode is necessarily slower than ISA-L's
+    # SIMD, but it should move at tens of MB/s so the experiment is
+    # practical.
+    assert rows[-1]["decode_throughput_mb_s"] > 10
+    # The calibrated overhead grows with size (fixed read costs amortize).
+    cal = [r["overhead_calibrated"] for r in rows]
+    assert cal == sorted(cal)

@@ -1,0 +1,30 @@
+"""Fig. 5 + Table 3 — simple partition with and without stragglers.
+
+Paper: partitioning collapses the 20 s no-balancing latency to ~1 s; with
+injected stragglers, pushing k past ~9 *hurts* — wide fork-joins keep
+meeting stragglers.
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig05_simple_partition import run_fig05
+
+
+def test_fig05_simple_partition(benchmark, report):
+    rows = run_experiment(benchmark, run_fig05, scale=bench_scale())
+    report(rows, "Fig. 5 / Table 3 — uniform k sweep at rate 10")
+    by_k = {r["k"]: r for r in rows}
+    # Partitioning rescues the overloaded cluster (vs k=1).
+    assert by_k[3]["mean_s"] < by_k[1]["mean_s"] / 3
+    # Stragglers always cost something.
+    for r in rows:
+        assert r["mean_s_stragglers"] >= r["mean_s"] * 0.99
+    # With stragglers, over-partitioning stops improving the mean: the
+    # curve bottoms out by k~9 and drifts up after (paper: rises sharply;
+    # our delay-only injection gives a milder rise — see EXPERIMENTS.md).
+    assert by_k[27]["mean_s_stragglers"] >= by_k[9]["mean_s_stragglers"]
+    # Wide fork-joins meet stragglers almost every read: the *fraction* of
+    # straggler-affected requests grows with k even if each hit is small.
+    assert (
+        by_k[27]["cv_stragglers"] > by_k[27]["cv"] + 0.05
+    )  # stragglers dominate the variability at high k

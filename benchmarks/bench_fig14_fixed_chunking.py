@@ -1,0 +1,30 @@
+"""Fig. 14 — SP-Cache versus fixed-size chunking (4/8/16 MB).
+
+Paper: small chunks pay connection overhead at light load; 16 MB chunks
+leave hot spots and end > 2x SP-Cache's mean at rate 22; small-chunk tails
+are comparable to SP-Cache.
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig14_fixed_chunking import run_fig14
+
+
+def test_fig14_fixed_chunking(benchmark, report):
+    rows = run_experiment(benchmark, run_fig14, scale=bench_scale())
+    report(rows, "Fig. 14 — SP-Cache vs fixed-size chunking")
+    by_rate = {r["rate"]: r for r in rows}
+    # At heavy load the coarse chunks' residual imbalance costs them.
+    heavy = by_rate[22]
+    assert heavy["sp_cache_mean"] < heavy["chunk_16mb_mean"]
+    assert heavy["sp_vs_16mb_pct"] > 0
+    # SP-Cache is never meaningfully worse than the best chunking config.
+    for r in rows:
+        best_chunk = min(
+            r["chunk_4mb_mean"], r["chunk_8mb_mean"], r["chunk_16mb_mean"]
+        )
+        assert r["sp_cache_mean"] <= best_chunk * 1.15
+    # Finer chunks pay more connection overhead than coarser ones at the
+    # lightest load (goodput cost of many streams).
+    light = by_rate[6]
+    assert light["chunk_4mb_mean"] >= light["chunk_16mb_mean"] * 0.95

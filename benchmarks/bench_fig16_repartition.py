@@ -1,0 +1,28 @@
+"""Figs. 16-18 — parallel repartition under popularity shifts.
+
+Paper: parallel repartition < 3 s up to 350 files vs ~319 s sequential
+(two orders of magnitude); the repartitioned fraction *falls* as the file
+count grows (Fig. 17); greedy placement balances better than random
+(Fig. 18).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments.fig16_repartition import run_fig16
+
+
+def test_fig16_17_18_repartition(benchmark, report):
+    rows = run_experiment(benchmark, run_fig16, trials=5)
+    report(rows, "Figs. 16-18 — repartition time / fraction / balance")
+    # Fig. 16: parallel is seconds, sequential is minutes.
+    for r in rows:
+        assert r["parallel_s"] < 5.0
+        assert r["speedup"] > 50
+    # Paper's flagship number: ~319 s sequential at 350 files.
+    assert 200 < rows[-1]["sequential_s"] < 450
+    # Fig. 17: changed fraction decreases with the file count.
+    fracs = [r["changed_fraction"] for r in rows]
+    assert fracs[-1] < fracs[0]
+    # Fig. 18: greedy least-loaded beats random placement on balance.
+    for r in rows:
+        assert r["eta_greedy"] < r["eta_random"]

@@ -1,0 +1,25 @@
+"""Fig. 19 — intensive (per-server) straggler injection.
+
+Paper: SP-Cache still cuts the mean by up to 40 % vs EC-Cache; at light
+load its *tail* may trail the redundant baselines (redundancy absorbs
+stragglers), flipping in SP's favour once imbalance dominates.
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig19_stragglers import run_fig19
+
+
+def test_fig19_stragglers(benchmark, report):
+    rows = run_experiment(benchmark, run_fig19, scale=bench_scale())
+    report(rows, "Fig. 19 — per-server stragglers (p = 0.05)")
+    by_rate = {r["rate"]: r for r in rows}
+    # Light load: roughly a tie with EC (the paper concedes the tail).
+    assert by_rate[6]["mean_vs_ec_pct"] > -15
+    # Heavy load: SP far ahead despite zero redundancy.
+    assert by_rate[18]["mean_vs_ec_pct"] > 30
+    assert by_rate[22]["mean_vs_ec_pct"] > 50
+    assert by_rate[22]["tail_vs_ec_pct"] > 50
+    # Replication is always worse than SP here.
+    for r in rows:
+        assert r["rep_mean"] > r["sp_mean"]

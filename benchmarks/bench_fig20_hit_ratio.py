@@ -1,0 +1,26 @@
+"""Fig. 20 — cache hit ratio with a throttled budget.
+
+Paper: redundancy-free SP-Cache keeps the most files resident and wins at
+every budget; replication is worst.
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig20_hit_ratio import run_fig20
+
+
+def test_fig20_hit_ratio(benchmark, report):
+    rows = run_experiment(benchmark, run_fig20, scale=bench_scale())
+    report(rows, "Fig. 20 — LRU hit ratio vs cache budget")
+    for r in rows:
+        assert (
+            r["sp_cache_hit"]
+            >= r["ec_cache_hit"]
+            >= r["selective_replication_hit"]
+        )
+    # The gap matters most when the budget is tight.
+    tight = rows[0]
+    assert tight["sp_cache_hit"] - tight["selective_replication_hit"] > 0.05
+    # More budget never hurts.
+    sp = [r["sp_cache_hit"] for r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(sp, sp[1:]))

@@ -1,0 +1,26 @@
+"""Fig. 21 — trace-driven simulation (Yahoo! sizes, Google arrivals).
+
+Paper: mean latencies 3.8 s (SP), 6.0 s (EC), 44.1 s (replication) — with
+realistic sizes, redundant caching of big hot files wrecks the hit ratio
+and replication collapses.
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig21_trace_driven import run_fig21
+
+
+def test_fig21_trace_driven(benchmark, report):
+    rows = run_experiment(benchmark, run_fig21, scale=bench_scale())
+    report(rows, "Fig. 21 — trace-driven latency distributions")
+    by_scheme = {r["scheme"]: r for r in rows}
+    sp = by_scheme["sp-cache"]
+    ec = by_scheme["ec-cache"]
+    rep = by_scheme["selective-replication"]
+    # Ordering of the means: SP < EC < replication (paper: 3.8/6.0/44.1).
+    assert sp["mean_s"] < ec["mean_s"] < rep["mean_s"]
+    # Replication collapses: a multiple of SP-Cache's latency (the paper
+    # measured 11x; our bursty-but-stable calibration gives >2x).
+    assert rep["mean_s"] > 2 * sp["mean_s"]
+    # Hit-ratio ordering drives it.
+    assert sp["hit_ratio"] >= ec["hit_ratio"] >= rep["hit_ratio"]

@@ -1,0 +1,25 @@
+"""Theorem 1 — load-variance ratio, closed form vs Monte Carlo vs limit.
+
+Paper: Var(X_EC)/Var(X_SP) -> (alpha/k) * sum L^2 / sum L, which is
+O(L_max) under heavy skew.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments.theorem1 import run_theorem1
+
+
+def test_theorem1_variance(benchmark, report):
+    rows = run_experiment(benchmark, run_theorem1)
+    report(rows, "Theorem 1 — per-server load variance, SP vs EC")
+    vals = {r["quantity"]: r["value"] for r in rows}
+    # Monte Carlo confirms both closed forms within 15 %.
+    assert abs(
+        vals["Var(X_SP) Monte Carlo"] / vals["Var(X_SP) closed form"] - 1
+    ) < 0.15
+    assert abs(
+        vals["Var(X_EC) Monte Carlo"] / vals["Var(X_EC) closed form"] - 1
+    ) < 0.15
+    # SP-Cache's variance is lower: the ratio exceeds 1.
+    assert vals["ratio exact"] > 1.0
+    assert vals["ratio Monte Carlo"] > 1.0

@@ -1,0 +1,41 @@
+"""Benchmark harness conventions.
+
+Every bench wraps one experiment runner from ``repro.experiments`` in the
+pytest-benchmark fixture (one round — these are *experiments*, not
+micro-benchmarks) and prints the paper-vs-measured table so
+``pytest benchmarks/ --benchmark-only`` regenerates the whole evaluation.
+
+``REPRO_BENCH_SCALE`` (default 1.0) shrinks simulated request counts for
+quick passes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def report():
+    """Print a result table so it lands in the captured bench output."""
+
+    def _report(rows, title):
+        print()
+        print(format_table(rows, title=title))
+        return rows
+
+    return _report
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Run ``runner`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,73 @@
+"""The byte-level store: real partitions, real parity, real recovery.
+
+Scenario: a small analytics cluster caches three datasets three different
+ways, then suffers evictions and a worker crash.  Every byte is real —
+plain partitions reassemble, Reed-Solomon parity decodes around losses,
+and a never-checkpointed derived dataset is recomputed through its lineage
+(Alluxio's fault-tolerance story, Sec. 8).
+
+Run:  python examples/byte_store_demo.py
+"""
+
+import numpy as np
+
+from repro.store import Master, StoreClient, UnderStore, Worker
+
+
+def dataset(seed: int, size: int) -> bytes:
+    return bytes(
+        np.random.default_rng(seed).integers(0, 256, size, dtype=np.uint8)
+    )
+
+
+def main() -> None:
+    n_workers = 12
+    master = Master(n_workers, seed=0)
+    workers = [Worker(i, capacity=2_000_000) for i in range(n_workers)]
+    client = StoreClient(master, workers, under_store=UnderStore(), seed=0)
+
+    # Three datasets, three schemes.
+    raw = dataset(1, 1_200_000)
+    client.write(1, raw, k=6)  # SP-Cache-style plain partitions
+    client.write_ec(2, dataset(2, 900_000), k=4, n=7)  # EC-Cache style
+    client.write_replicated(3, dataset(3, 300_000), replicas=3)
+
+    for fid in (1, 2, 3):
+        data = client.read(fid)
+        print(f"file {fid}: {len(data):,} bytes OK "
+              f"(k={master.meta(fid).k}, locations={len(master.meta(fid).locations)})")
+
+    # A derived dataset with lineage instead of a checkpoint.
+    derived = bytes(b ^ 0x5A for b in raw)
+    client.write(4, derived, k=4)
+    client.lineage.register(
+        4, parents=(1,), recompute=lambda ps: bytes(b ^ 0x5A for b in ps[0])
+    )
+    client.checkpoint(1)  # the parent is persisted; the child is not
+
+    # Disaster: two workers crash.
+    for wid in (0, 1):
+        workers[wid].crash()
+    print("\nworkers 0 and 1 crashed")
+
+    # EC file survives via parity; partitioned files recover via
+    # checkpoint or lineage recompute.
+    for fid in (1, 2, 3, 4):
+        data = client.read(fid)
+        print(f"file {fid}: {len(data):,} bytes recovered/served")
+    print(f"\nrecoveries triggered: {client.recoveries}")
+    print(f"under-store reads: {client.under_store.reads}")
+
+    # Popularity made file 4 hot: repartition it finer, in place.
+    for _ in range(25):
+        client.read(4)
+    ids, sizes, pops = master.popularity_snapshot()
+    hottest = int(ids[np.argmax(pops)])
+    print(f"\nhottest file by access count: {hottest}")
+    meta = client.repartition(hottest, new_k=8, placement="least_loaded")
+    print(f"repartitioned file {hottest} to k={len(meta.locations)}; "
+          f"read OK: {client.read(hottest) == derived}")
+
+
+if __name__ == "__main__":
+    main()

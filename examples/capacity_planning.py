@@ -1,0 +1,90 @@
+"""Capacity planning with the fork-join latency model.
+
+Scenario: an operator runs a 100-file, 100 MB analytics cache and wants to
+know (a) the optimal scale factor for today's popularity, (b) how the
+latency bound degrades as the request rate grows, and (c) at what rate the
+cluster needs more servers.  Everything here uses the analytical model —
+no simulation — so it runs in milliseconds, the way the SP-Master would
+every 12 hours.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, Gbps, MB, optimal_scale_factor, partition_counts
+from repro.analysis.tables import print_table
+from repro.cluster.network import GoodputModel
+from repro.core import ForkJoinModel
+from repro.core.placement import place_partitions_random
+from repro.workloads import paper_fileset
+
+
+def bound_at(pop, cluster, alpha, seed=0):
+    ks = partition_counts(pop, alpha, n_servers=cluster.n_servers)
+    servers = place_partitions_random(ks, cluster.n_servers, seed=seed)
+    return ForkJoinModel(pop, cluster).evaluate(ks, servers)
+
+
+def main() -> None:
+    cluster = ClusterSpec(n_servers=30, bandwidth=Gbps)
+
+    # (a) Configure alpha for the current popularity at the measured rate.
+    pop = paper_fileset(100, size_mb=100, zipf_exponent=1.05, total_rate=8.0)
+    search = optimal_scale_factor(
+        pop,
+        cluster,
+        goodput=GoodputModel(),
+        client_cap=True,
+        service_distribution="deterministic",
+        mode="sweep",
+        seed=0,
+    )
+    ks = partition_counts(pop, search.alpha, n_servers=30)
+    print(
+        f"optimal alpha = {search.alpha * MB:.2f} (MB-load units); "
+        f"bound = {search.bound:.2f}s; "
+        f"hottest file -> {ks.max()} partitions, "
+        f"median file -> {int(np.median(ks))}"
+    )
+
+    # (b) Latency bound vs offered rate at that alpha.
+    rows = []
+    for rate in (4, 8, 12, 16, 20, 24, 28):
+        ev = bound_at(pop.with_rate(rate), cluster, search.alpha)
+        rows.append(
+            {
+                "rate_req_s": rate,
+                "latency_bound_s": ev.mean_bound,
+                "max_utilisation": ev.max_utilisation,
+                "stable": ev.stable,
+            }
+        )
+    print_table(rows, title="Latency bound vs offered load (30 servers)")
+
+    # (c) Servers needed to keep the bound under an SLO at rate 24.
+    slo = 1.0
+    rows = []
+    for n_servers in (20, 30, 40, 50, 60):
+        cl = ClusterSpec(n_servers=n_servers, bandwidth=Gbps)
+        s = optimal_scale_factor(
+            pop.with_rate(24.0),
+            cl,
+            goodput=GoodputModel(),
+            client_cap=True,
+            service_distribution="deterministic",
+            mode="sweep",
+            seed=0,
+        )
+        rows.append(
+            {
+                "servers": n_servers,
+                "bound_s": s.bound,
+                "meets_1s_slo": bool(np.isfinite(s.bound) and s.bound < slo),
+            }
+        )
+    print_table(rows, title="Cluster sizing for 24 req/s under a 1 s SLO")
+
+
+if __name__ == "__main__":
+    main()

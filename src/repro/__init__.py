@@ -1,0 +1,110 @@
+"""SP-Cache reproduction: load-balanced, redundancy-free cluster caching.
+
+Reproduction of Yu, Wang, Huang, Zhang & Ben Letaief, *"SP-Cache:
+load-balanced, redundancy-free cluster caching with selective partition"*
+(SC 2018; journal version in IEEE TPDS 2019).
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version)::
+
+    from repro import (ClusterSpec, Gbps, SPCachePolicy, SimulationConfig,
+                       paper_fileset, poisson_trace, simulate_reads)
+
+    cluster = ClusterSpec(n_servers=30, bandwidth=Gbps)
+    files = paper_fileset(500, size_mb=100, zipf_exponent=1.05, total_rate=18)
+    policy = SPCachePolicy(files, cluster)          # Algorithm 1 inside
+    trace = poisson_trace(files, n_requests=5000, seed=1)
+    result = simulate_reads(trace, policy, cluster, SimulationConfig(seed=2))
+    print(result.summary())
+
+Packages
+--------
+``repro.core``
+    The paper's algorithms: selective partition sizing, the fork-join
+    latency upper bound, the scale-factor search, parallel repartition,
+    Theorem 1.
+``repro.cluster``
+    Discrete-event cluster simulator (FIFO M/G/1 and processor-sharing
+    engines), goodput and straggler models, metrics.
+``repro.policies``
+    SP-Cache plus every baseline: EC-Cache, selective replication, simple
+    partition, fixed-size chunking, single copy.
+``repro.store``
+    Byte-level Alluxio-like store (master/workers/client, LRU, lineage).
+``repro.ec``
+    GF(256) Reed-Solomon erasure coding.
+``repro.workloads``
+    Zipf popularity, Yahoo!/Google/Bing trace-fitted generators, arrivals.
+``repro.experiments``
+    Runners that regenerate every table and figure of the evaluation.
+"""
+
+from repro.cluster import (
+    GoodputModel,
+    SimulationConfig,
+    SimulationResult,
+    StragglerInjector,
+    imbalance_factor,
+    simulate_reads,
+    summarize_latencies,
+)
+from repro.common import GB, KB, MB, ClusterSpec, FilePopulation, Gbps, Mbps
+from repro.system import RebalanceReport, SPCacheSystem
+from repro.core import (
+    ForkJoinModel,
+    optimal_scale_factor,
+    partition_counts,
+    plan_repartition,
+)
+from repro.policies import (
+    CachePolicy,
+    ECCachePolicy,
+    FixedChunkingPolicy,
+    SelectiveReplicationPolicy,
+    SimplePartitionPolicy,
+    SingleCopyPolicy,
+    SPCachePolicy,
+)
+from repro.workloads import (
+    BingStragglerProfile,
+    paper_fileset,
+    poisson_trace,
+    yahoo_file_population,
+    zipf_popularity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "BingStragglerProfile",
+    "CachePolicy",
+    "ClusterSpec",
+    "ECCachePolicy",
+    "FilePopulation",
+    "FixedChunkingPolicy",
+    "ForkJoinModel",
+    "Gbps",
+    "GoodputModel",
+    "Mbps",
+    "RebalanceReport",
+    "SPCacheSystem",
+    "SPCachePolicy",
+    "SelectiveReplicationPolicy",
+    "SimplePartitionPolicy",
+    "SimulationConfig",
+    "SimulationResult",
+    "SingleCopyPolicy",
+    "StragglerInjector",
+    "imbalance_factor",
+    "optimal_scale_factor",
+    "paper_fileset",
+    "partition_counts",
+    "plan_repartition",
+    "poisson_trace",
+    "simulate_reads",
+    "summarize_latencies",
+    "yahoo_file_population",
+    "zipf_popularity",
+]

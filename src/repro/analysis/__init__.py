@@ -1,0 +1,6 @@
+"""Statistics and table-rendering helpers shared by benches and examples."""
+
+from repro.analysis.stats import bootstrap_ci, percentile_summary
+from repro.analysis.tables import format_table, print_table
+
+__all__ = ["bootstrap_ci", "format_table", "percentile_summary", "print_table"]

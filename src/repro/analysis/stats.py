@@ -1,0 +1,52 @@
+"""Small statistical utilities for experiment reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import make_rng
+
+__all__ = ["bootstrap_ci", "percentile_summary", "cdf_points"]
+
+
+def percentile_summary(
+    sample: np.ndarray, percentiles: tuple[float, ...] = (5, 25, 50, 75, 95)
+) -> dict[str, float]:
+    """Named percentiles of a sample (the box-plot stats of Fig. 4)."""
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        raise ValueError("empty sample")
+    values = np.percentile(sample, percentiles)
+    return {f"p{int(p)}": float(v) for p, v in zip(percentiles, values)}
+
+
+def bootstrap_ci(
+    sample: np.ndarray,
+    statistic=np.mean,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``statistic``."""
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        raise ValueError("empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = make_rng(seed)
+    idx = rng.integers(0, sample.size, size=(n_resamples, sample.size))
+    stats = np.apply_along_axis(statistic, 1, sample[idx])
+    lo = (1 - confidence) / 2 * 100
+    return (
+        float(np.percentile(stats, lo)),
+        float(np.percentile(stats, 100 - lo)),
+    )
+
+
+def cdf_points(sample: np.ndarray, n_points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) pairs of the empirical CDF (Fig. 21's curves)."""
+    sample = np.sort(np.asarray(sample, dtype=np.float64))
+    if sample.size == 0:
+        raise ValueError("empty sample")
+    qs = np.linspace(0, 100, n_points)
+    return np.percentile(sample, qs), qs / 100.0

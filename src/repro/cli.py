@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``simulate``
+    Run one scheme on a synthetic workload and print latency statistics.
+``compare``
+    Race SP-Cache against the baselines on one trace (a CLI version of
+    ``examples/quickstart.py``).
+``configure``
+    Run the scale-factor search and show the resulting partition layout.
+``experiments``
+    Regenerate evaluation tables (thin wrapper over
+    ``repro.experiments.run_all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.cluster import (
+    SimulationConfig,
+    StragglerInjector,
+    imbalance_factor,
+    simulate_reads,
+)
+from repro.common import MB, ClusterSpec, Gbps
+from repro.core import optimal_scale_factor, partition_counts
+from repro.cluster.network import GoodputModel
+from repro.policies import (
+    ECCachePolicy,
+    FixedChunkingPolicy,
+    SelectiveReplicationPolicy,
+    SimplePartitionPolicy,
+    SingleCopyPolicy,
+    SPCachePolicy,
+)
+from repro.workloads import paper_fileset, poisson_trace
+
+__all__ = ["main"]
+
+def _ec_policy(pop, cl, seed):
+    """(10, 14) as in the paper, shrunk proportionally on tiny clusters."""
+    n = min(14, cl.n_servers)
+    k = max(n - 4, 1)
+    return ECCachePolicy(pop, cl, k=k, n=n, seed=seed)
+
+
+_SCHEMES = {
+    "sp": lambda pop, cl, seed: SPCachePolicy(pop, cl, seed=seed),
+    "ec": _ec_policy,
+    "replication": lambda pop, cl, seed: SelectiveReplicationPolicy(
+        pop, cl, seed=seed
+    ),
+    "simple": lambda pop, cl, seed: SimplePartitionPolicy(pop, cl, seed=seed),
+    "chunking": lambda pop, cl, seed: FixedChunkingPolicy(
+        pop, cl, chunk_size=8 * MB, seed=seed
+    ),
+    "single": lambda pop, cl, seed: SingleCopyPolicy(pop, cl, seed=seed),
+}
+
+_STRAGGLERS = {
+    "none": StragglerInjector.none,
+    "natural": StragglerInjector.natural,
+    "injected": StragglerInjector.injected,
+    "intensive": StragglerInjector.intensive,
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--files", type=int, default=300)
+    parser.add_argument("--size-mb", type=float, default=100.0)
+    parser.add_argument("--zipf", type=float, default=1.05)
+    parser.add_argument("--rate", type=float, default=10.0)
+    parser.add_argument("--servers", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _workload(args):
+    cluster = ClusterSpec(n_servers=args.servers, bandwidth=Gbps)
+    pop = paper_fileset(
+        args.files,
+        size_mb=args.size_mb,
+        zipf_exponent=args.zipf,
+        total_rate=args.rate,
+    )
+    return pop, cluster
+
+
+def _simulate_one(pop, cluster, scheme, args):
+    policy = _SCHEMES[scheme](pop, cluster, args.seed)
+    trace = poisson_trace(pop, n_requests=args.requests, seed=args.seed + 1)
+    config = SimulationConfig(
+        jitter="deterministic",
+        stragglers=_STRAGGLERS[args.stragglers](),
+        seed=args.seed + 2,
+    )
+    result = simulate_reads(trace, policy, cluster, config)
+    summary = result.summary()
+    return policy, result, summary
+
+
+def _cmd_simulate(args) -> int:
+    pop, cluster = _workload(args)
+    policy, result, summary = _simulate_one(pop, cluster, args.scheme, args)
+    rows = [
+        {"metric": "scheme", "value": policy.name},
+        {"metric": "mean latency (s)", "value": summary.mean},
+        {"metric": "p95 latency (s)", "value": summary.p95},
+        {"metric": "p99 latency (s)", "value": summary.p99},
+        {"metric": "CV", "value": summary.cv},
+        {"metric": "imbalance eta", "value": imbalance_factor(result.server_bytes)},
+        {"metric": "memory overhead %", "value": policy.memory_overhead() * 100},
+    ]
+    print(format_table(rows, title=f"simulate: {args.scheme}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    pop, cluster = _workload(args)
+    rows = []
+    for scheme in args.schemes.split(","):
+        scheme = scheme.strip()
+        if scheme not in _SCHEMES:
+            print(f"unknown scheme {scheme!r}", file=sys.stderr)
+            return 2
+        policy, result, summary = _simulate_one(pop, cluster, scheme, args)
+        rows.append(
+            {
+                "scheme": policy.name,
+                "mean_s": summary.mean,
+                "p95_s": summary.p95,
+                "eta": imbalance_factor(result.server_bytes),
+                "mem_overhead_pct": policy.memory_overhead() * 100,
+            }
+        )
+    print(format_table(rows, title=f"compare @ rate {args.rate}"))
+    return 0
+
+
+def _cmd_configure(args) -> int:
+    pop, cluster = _workload(args)
+    search = optimal_scale_factor(
+        pop,
+        cluster,
+        goodput=GoodputModel(),
+        client_cap=True,
+        service_distribution="deterministic",
+        mode=args.mode,
+        seed=args.seed,
+    )
+    ks = partition_counts(pop, search.alpha, n_servers=cluster.n_servers)
+    rows = [
+        {"metric": "alpha (MB-load units)", "value": search.alpha * MB},
+        {"metric": "latency bound (s)", "value": search.bound},
+        {"metric": "search iterations", "value": search.n_iterations},
+        {"metric": "k (hottest file)", "value": int(ks.max())},
+        {"metric": "k (median file)", "value": int(np.median(ks))},
+        {"metric": "files split", "value": f"{(ks > 1).mean():.0%}"},
+    ]
+    print(format_table(rows, title="Algorithm 1 configuration"))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.run_all import main as run_all_main
+
+    forwarded = []
+    if args.only:
+        forwarded += ["--only", args.only]
+    forwarded += ["--scale", str(args.scale), "--out", args.out]
+    return run_all_main(forwarded)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one scheme on a workload")
+    _add_workload_args(p_sim)
+    p_sim.add_argument("--scheme", choices=sorted(_SCHEMES), default="sp")
+    p_sim.add_argument("--requests", type=int, default=3000)
+    p_sim.add_argument(
+        "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="race several schemes")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--schemes", default="sp,ec,replication")
+    p_cmp.add_argument("--requests", type=int, default=3000)
+    p_cmp.add_argument(
+        "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_cfg = sub.add_parser("configure", help="run the scale-factor search")
+    _add_workload_args(p_cfg)
+    p_cfg.add_argument("--mode", choices=("paper", "sweep"), default="sweep")
+    p_cfg.set_defaults(func=_cmd_configure)
+
+    p_exp = sub.add_parser("experiments", help="regenerate evaluation tables")
+    p_exp.add_argument("--only", default=None)
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("--out", default="results")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

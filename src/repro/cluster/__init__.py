@@ -1,0 +1,44 @@
+"""Discrete-event cluster-cache simulator.
+
+This package replaces the paper's EC2/Alluxio testbed.  Each cache server is
+a FIFO single-channel queue (the M/G/1 model of Sec. 5.3); a file read forks
+into parallel partition reads and joins on the slowest (or, with late
+binding, the ``k``-th fastest).  On top of the queueing core sit the two
+effects the paper measures but its model omits: per-connection goodput loss
+(Fig. 6) and straggler injection (Bing profile).
+
+The fork-join engine (:mod:`repro.cluster.simulation`) exploits a structural
+property for speed: because every partition read of a request arrives at its
+server at the request's arrival instant and servers are FIFO, processing
+requests in arrival order with a per-server ``free_at`` clock reproduces the
+exact event-driven schedule without a heap.  A general heap-based engine
+(:mod:`repro.cluster.events`) is provided for components that need arbitrary
+event interleavings (repartition, validation tests).
+"""
+
+from repro.cluster.client import ReadOp, WriteOp
+from repro.cluster.events import EventQueue
+from repro.cluster.metrics import (
+    LatencySummary,
+    coefficient_of_variation,
+    imbalance_factor,
+    summarize_latencies,
+)
+from repro.cluster.network import GoodputModel
+from repro.cluster.simulation import SimulationConfig, SimulationResult, simulate_reads
+from repro.cluster.stragglers import StragglerInjector
+
+__all__ = [
+    "EventQueue",
+    "GoodputModel",
+    "LatencySummary",
+    "ReadOp",
+    "SimulationConfig",
+    "SimulationResult",
+    "StragglerInjector",
+    "WriteOp",
+    "coefficient_of_variation",
+    "imbalance_factor",
+    "simulate_reads",
+    "summarize_latencies",
+]

@@ -1,0 +1,139 @@
+"""Client-side read/write operations and the planner protocol.
+
+A caching *policy* (``repro.policies``) decides where partitions live and
+how a request reads them; the *simulator* only sees the resulting
+:class:`ReadOp`: which servers to hit, how many bytes each serves, how many
+reads must complete before the join fires (late binding reads ``k + 1`` but
+joins on ``k``), and any post-join compute such as erasure decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.cluster.network import GoodputModel
+
+__all__ = ["ReadOp", "WriteOp", "ReadPlanner", "write_latency"]
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """One file read as a fork-join over cache servers.
+
+    Attributes
+    ----------
+    server_ids:
+        Servers to read from, one partition each (duplicates allowed only if
+        a policy intentionally co-locates, which none of the paper's do).
+    sizes:
+        Bytes served by each read, aligned with ``server_ids``.
+    join_count:
+        Number of completions required before the file is ready.  Equal to
+        ``len(server_ids)`` for plain partitioning; ``k`` with EC-Cache's
+        late binding where ``k + 1`` reads are issued.
+    post_fraction:
+        Extra latency applied after the join as a fraction of the read time
+        (EC-Cache's decode overhead, e.g. 0.2 for 20 %).
+    post_seconds:
+        Extra absolute latency after the join (e.g. a measured decode time).
+    """
+
+    server_ids: np.ndarray
+    sizes: np.ndarray
+    join_count: int = -1  # -1 means "all"
+    post_fraction: float = 0.0
+    post_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        server_ids = np.asarray(self.server_ids, dtype=np.int64)
+        sizes = np.asarray(self.sizes, dtype=np.float64)
+        if server_ids.ndim != 1 or server_ids.size == 0:
+            raise ValueError("server_ids must be a non-empty 1-D array")
+        if sizes.shape != server_ids.shape:
+            raise ValueError("sizes must align with server_ids")
+        if np.any(sizes < 0):
+            raise ValueError("sizes must be non-negative")
+        join = self.join_count if self.join_count != -1 else server_ids.size
+        if not 1 <= join <= server_ids.size:
+            raise ValueError(
+                f"join_count {self.join_count} out of range for "
+                f"{server_ids.size} reads"
+            )
+        if self.post_fraction < 0 or self.post_seconds < 0:
+            raise ValueError("post delays must be non-negative")
+        object.__setattr__(self, "server_ids", server_ids)
+        object.__setattr__(self, "sizes", sizes)
+        object.__setattr__(self, "join_count", join)
+
+    @property
+    def parallelism(self) -> int:
+        return int(self.server_ids.size)
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One file write: bytes pushed to servers plus client-side compute.
+
+    ``pre_seconds`` models encoding (EC-Cache) before any byte moves;
+    ``sequential`` writes partitions one after another through the client
+    NIC (the paper's SP-Cache write mode, Sec. 7.8), while parallel writes
+    still share that single NIC and so take the same wire time — the
+    distinction matters only for future multi-NIC extensions.
+    """
+
+    sizes: np.ndarray
+    pre_seconds: float = 0.0
+    sequential: bool = True
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes, dtype=np.float64)
+        if sizes.ndim != 1 or sizes.size == 0:
+            raise ValueError("sizes must be a non-empty 1-D array")
+        if np.any(sizes < 0):
+            raise ValueError("sizes must be non-negative")
+        if self.pre_seconds < 0:
+            raise ValueError("pre_seconds must be non-negative")
+        object.__setattr__(self, "sizes", sizes)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.sizes.sum())
+
+    @property
+    def n_connections(self) -> int:
+        return int(self.sizes.size)
+
+
+class ReadPlanner(Protocol):
+    """What the simulator requires of a placement policy."""
+
+    def plan_read(
+        self, file_id: int, rng: np.random.Generator
+    ) -> ReadOp:  # pragma: no cover - protocol
+        """Build the fork-join read for one request of ``file_id``."""
+        ...
+
+    def footprint(self, file_id: int) -> float:  # pragma: no cover - protocol
+        """Cached bytes the file occupies (including parity/replicas)."""
+        ...
+
+
+def write_latency(
+    op: WriteOp,
+    client_bandwidth: float,
+    goodput: GoodputModel | None = None,
+) -> float:
+    """Latency of a write through a single client NIC (Sec. 7.8 model).
+
+    All written bytes traverse the client's NIC, so wire time is
+    ``total_bytes / (bandwidth * goodput(n_connections))``; encoding time is
+    added up front.  More connections (replicas, chunks, parity shards) cost
+    goodput, which is how fixed-size chunking loses to SP-Cache on writes.
+    """
+    factor = (
+        goodput.factor(op.n_connections, client_bandwidth) if goodput else 1.0
+    )
+    return op.pre_seconds + op.total_bytes / (client_bandwidth * factor)

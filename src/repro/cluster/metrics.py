@@ -1,0 +1,91 @@
+"""Performance metrics used across the evaluation.
+
+The paper reports the mean and tail (95th-percentile) read latency, the
+coefficient of variation (CV, Sec. 2.2 — CV > 1 signals hot-spot effects),
+and the imbalance factor ``eta = (L_max - L_avg) / L_avg`` over per-server
+loads (Eq. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LatencySummary",
+    "coefficient_of_variation",
+    "imbalance_factor",
+    "summarize_latencies",
+    "latency_improvement",
+]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Headline statistics of a latency sample."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    cv: float
+    n: int
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "cv": self.cv,
+            "n": self.n,
+        }
+
+
+def summarize_latencies(latencies: np.ndarray) -> LatencySummary:
+    """Mean, percentiles, and CV of a latency sample."""
+    lat = np.asarray(latencies, dtype=np.float64)
+    if lat.size == 0:
+        raise ValueError("empty latency sample")
+    if np.any(lat < 0):
+        raise ValueError("latencies must be non-negative")
+    p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+    return LatencySummary(
+        mean=float(lat.mean()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        cv=coefficient_of_variation(lat),
+        n=int(lat.size),
+    )
+
+
+def coefficient_of_variation(sample: np.ndarray) -> float:
+    """Standard deviation over mean (Tables 1-3's CV)."""
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        raise ValueError("empty sample")
+    mean = sample.mean()
+    if mean == 0:
+        return 0.0
+    return float(sample.std() / mean)
+
+
+def imbalance_factor(server_loads: np.ndarray) -> float:
+    """``eta = (L_max - L_avg) / L_avg`` (Eq. 15); lower is better."""
+    loads = np.asarray(server_loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("empty load vector")
+    avg = loads.mean()
+    if avg == 0:
+        return 0.0
+    return float((loads.max() - avg) / avg)
+
+
+def latency_improvement(baseline: float, sp_cache: float) -> float:
+    """Eq. 14: ``(D - D_SP) / D * 100`` percent; positive = SP-Cache wins."""
+    if baseline <= 0:
+        raise ValueError("baseline latency must be positive")
+    return (baseline - sp_cache) / baseline * 100.0

@@ -1,0 +1,94 @@
+"""Network transfer model: bandwidth, jitter, and goodput loss.
+
+The paper's analytical model treats a partition transfer as exponentially
+distributed with mean ``S_i / (k_i * B_s)`` (Sec. 5.3); its measurements add
+a real-world effect the model drops: reading a file through many parallel
+TCP connections wastes bandwidth on protocol overhead and incast collapse
+(Fig. 6 — goodput falls to ~0.8 of nominal at 20 partitions and ~0.6 at 100
+on a 1 Gbps NIC, worse at 500 Mbps).
+
+:class:`GoodputModel` encodes Fig. 6's measured curves as a log-domain
+interpolation table keyed by bandwidth; the simulator divides each
+partition's transfer time by the goodput factor of its request's
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import Gbps, Mbps
+
+__all__ = ["GoodputModel", "transfer_time"]
+
+# Fig. 6 calibration: normalized goodput at selected partition counts.
+# Interpolated linearly in log(k); clamped beyond the last knot.
+_KNOTS_K = np.array([1.0, 5.0, 20.0, 50.0, 100.0])
+_GOODPUT_1GBPS = np.array([1.00, 0.93, 0.80, 0.70, 0.62])
+_GOODPUT_500MBPS = np.array([1.00, 0.90, 0.75, 0.66, 0.60])
+
+
+@dataclass(frozen=True)
+class GoodputModel:
+    """Normalized goodput as a function of a request's read parallelism.
+
+    ``factor(k)`` in (0, 1]: the fraction of nominal bandwidth that carries
+    useful bytes when ``k`` partitions are fetched in parallel.  Two
+    calibrated curves are bundled (1 Gbps and 500 Mbps, from Fig. 6); a
+    query bandwidth selects the nearest curve.  ``identity()`` disables the
+    effect (used when validating against the pure queueing model).
+    """
+
+    knots_k: np.ndarray = field(default_factory=lambda: _KNOTS_K.copy())
+    goodput_by_bandwidth: dict[float, np.ndarray] = field(
+        default_factory=lambda: {
+            Gbps: _GOODPUT_1GBPS.copy(),
+            500 * Mbps: _GOODPUT_500MBPS.copy(),
+        }
+    )
+
+    def __post_init__(self) -> None:
+        k = np.asarray(self.knots_k, dtype=np.float64)
+        if np.any(np.diff(k) <= 0) or k[0] < 1:
+            raise ValueError("knots_k must be increasing and start at >= 1")
+        for bw, g in self.goodput_by_bandwidth.items():
+            g = np.asarray(g, dtype=np.float64)
+            if g.shape != k.shape:
+                raise ValueError("each goodput curve must match knots_k")
+            if np.any(g <= 0) or np.any(g > 1) or np.any(np.diff(g) > 0):
+                raise ValueError("goodput must be nonincreasing in (0, 1]")
+
+    @staticmethod
+    def identity() -> "GoodputModel":
+        """A model with no goodput loss (factor is 1 everywhere)."""
+        return GoodputModel(
+            knots_k=np.array([1.0, 2.0]),
+            goodput_by_bandwidth={Gbps: np.array([1.0, 1.0])},
+        )
+
+    def _curve(self, bandwidth: float) -> np.ndarray:
+        bws = np.array(sorted(self.goodput_by_bandwidth))
+        nearest = bws[np.argmin(np.abs(bws - bandwidth))]
+        return self.goodput_by_bandwidth[float(nearest)]
+
+    def factor(self, parallelism: int | np.ndarray, bandwidth: float = Gbps):
+        """Normalized goodput for ``parallelism`` concurrent partition reads."""
+        k = np.maximum(np.asarray(parallelism, dtype=np.float64), 1.0)
+        curve = self._curve(bandwidth)
+        out = np.interp(np.log(k), np.log(self.knots_k), curve)
+        if np.isscalar(parallelism) or np.ndim(parallelism) == 0:
+            return float(out)
+        return out
+
+
+def transfer_time(
+    size_bytes: float | np.ndarray,
+    bandwidth: float | np.ndarray,
+    goodput_factor: float | np.ndarray = 1.0,
+) -> np.ndarray:
+    """Base transfer time ``size / (bandwidth * goodput)`` in seconds."""
+    return np.asarray(size_bytes, dtype=np.float64) / (
+        np.asarray(bandwidth, dtype=np.float64) * np.asarray(goodput_factor)
+    )

@@ -1,0 +1,105 @@
+"""Straggler injection for the simulator.
+
+The paper injects stragglers in two ways:
+
+* **per read** (Sec. 4.2): each partition read independently straggles with
+  probability 0.05, its completion delayed by a Bing-profiled factor;
+* **per server** (Sec. 7.5): each cluster node *is* a straggler with
+  probability 0.05; every read it serves draws a delay factor.
+
+:class:`StragglerInjector` implements both behind one ``multipliers`` call
+the simulator applies to pre-sampled service times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.common import make_rng
+from repro.workloads.bing import BingStragglerProfile
+
+__all__ = ["StragglerInjector"]
+
+
+@dataclass(frozen=True)
+class StragglerInjector:
+    """Applies Bing-profile slowdowns to partition-read service times."""
+
+    profile: BingStragglerProfile
+    mode: Literal["per_read", "per_server"] = "per_read"
+
+    @staticmethod
+    def none() -> "StragglerInjector":
+        """Injector that never slows anything down."""
+        return StragglerInjector(BingStragglerProfile(probability=0.0))
+
+    @staticmethod
+    def natural() -> "StragglerInjector":
+        """Mild per-read stragglers standing in for the EC2 testbed's
+        naturally occurring ones (Sec. 7.3 runs 'with naturally occurred
+        stragglers')."""
+        return StragglerInjector(BingStragglerProfile(probability=0.02))
+
+    @staticmethod
+    def injected() -> "StragglerInjector":
+        """The Sec. 4.2 injection: every partition read straggles with
+        probability 0.05 (Fig. 5's 'with stragglers' curves)."""
+        return StragglerInjector(BingStragglerProfile(probability=0.05))
+
+    @staticmethod
+    def intensive() -> "StragglerInjector":
+        """The Sec. 7.5 injection: each cluster *node* is a straggler with
+        probability 0.05 (Fig. 19)."""
+        return StragglerInjector(
+            BingStragglerProfile(probability=0.05), mode="per_server"
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.profile.probability > 0
+
+    def straggler_servers(
+        self, n_servers: int, seed: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Boolean mask of servers that are stragglers (per_server mode)."""
+        rng = make_rng(seed)
+        return rng.random(n_servers) < self.profile.probability
+
+    def multipliers(
+        self,
+        server_ids: np.ndarray,
+        straggler_mask: np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Completion-delay multipliers for a batch of reads.
+
+        The paper's injection "sleeps the server thread" (Secs. 4.2, 7.5):
+        the read's *completion* is delayed by the drawn factor, but the
+        sleeping thread consumes no NIC bandwidth, so other reads proceed
+        unharmed.  The engines therefore turn a multiplier ``m`` into an
+        extra delay ``(m - 1) * nominal_transfer_time`` added to the flow's
+        completion *as seen by the fork-join*, without occupying capacity.
+
+        ``server_ids`` gives the serving server of each read.  In
+        ``per_read`` mode every read rolls the straggler dice independently;
+        in ``per_server`` mode only reads landing on a straggler server
+        (per ``straggler_mask``) are slowed, but those always are.
+        """
+        server_ids = np.asarray(server_ids)
+        n = server_ids.size
+        if not self.enabled or n == 0:
+            return np.ones(n, dtype=np.float64)
+        rng = make_rng(seed)
+        if self.mode == "per_read":
+            return self.profile.sample_multipliers(n, seed=rng)
+        if straggler_mask is None:
+            raise ValueError("per_server mode requires a straggler_mask")
+        mult = np.ones(n, dtype=np.float64)
+        hit = np.asarray(straggler_mask)[server_ids]
+        n_hit = int(hit.sum())
+        if n_hit:
+            mult[hit] = self.profile.sample_factors(n_hit, seed=rng)
+        return mult

@@ -1,0 +1,224 @@
+"""Shared value types and unit helpers for the SP-Cache reproduction.
+
+Everything population-scale (file sizes, request rates, loads) is kept in
+NumPy arrays so the hot paths downstream (latency model evaluation, event
+pre-sampling) stay vectorized, per the HPC-Python idiom of avoiding
+per-element Python loops.
+
+Units
+-----
+Sizes are in **bytes**, bandwidths in **bytes/second**, rates in
+**requests/second**, times in **seconds** throughout the code base.  The
+constants :data:`KB`, :data:`MB`, :data:`GB`, :data:`Mbps`, :data:`Gbps`
+convert the paper's figures into these units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "Mbps",
+    "Gbps",
+    "FilePopulation",
+    "ClusterSpec",
+    "make_rng",
+    "validate_probability_vector",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Network bandwidths: the paper quotes link speeds in bits/second.
+Mbps = 1e6 / 8.0
+Gbps = 1e9 / 8.0
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged) so that library entry points can take a
+    single ``seed`` argument and forward it freely.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def validate_probability_vector(p: np.ndarray, *, name: str = "popularity") -> np.ndarray:
+    """Validate and renormalize a probability vector.
+
+    Raises ``ValueError`` on negative entries or a zero sum; returns a fresh
+    float64 array normalized to sum exactly to 1 (within float rounding).
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {p.shape}")
+    if p.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(p < 0) or not np.all(np.isfinite(p)):
+        raise ValueError(f"{name} entries must be finite and non-negative")
+    total = p.sum()
+    if total <= 0:
+        raise ValueError(f"{name} must have positive mass")
+    return p / total
+
+
+@dataclass(frozen=True)
+class FilePopulation:
+    """A set of cached files with sizes and access statistics.
+
+    Attributes
+    ----------
+    sizes:
+        File sizes in bytes, shape ``(n_files,)``.
+    popularities:
+        Access probabilities ``P_i = lambda_i / sum_j lambda_j`` (Eq. 4 in the
+        paper); always normalized to sum to 1.
+    total_rate:
+        Aggregate request arrival rate ``sum_i lambda_i`` in requests/second.
+    """
+
+    sizes: np.ndarray
+    popularities: np.ndarray
+    total_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes, dtype=np.float64)
+        if sizes.ndim != 1 or sizes.size == 0:
+            raise ValueError("sizes must be a non-empty 1-D array")
+        if np.any(sizes <= 0) or not np.all(np.isfinite(sizes)):
+            raise ValueError("file sizes must be positive and finite")
+        pops = validate_probability_vector(np.asarray(self.popularities))
+        if pops.shape != sizes.shape:
+            raise ValueError(
+                f"sizes {sizes.shape} and popularities {pops.shape} must align"
+            )
+        if not (self.total_rate > 0 and np.isfinite(self.total_rate)):
+            raise ValueError("total_rate must be positive and finite")
+        object.__setattr__(self, "sizes", sizes)
+        object.__setattr__(self, "popularities", pops)
+
+    @property
+    def n_files(self) -> int:
+        return int(self.sizes.size)
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Per-file arrival rates ``lambda_i`` (requests/second)."""
+        return self.popularities * self.total_rate
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Expected load ``L_i = S_i * P_i`` (bytes, Eq. 1's load measure)."""
+        return self.sizes * self.popularities
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.sizes.sum())
+
+    def with_rate(self, total_rate: float) -> "FilePopulation":
+        """Same files, different aggregate request rate."""
+        return replace(self, total_rate=float(total_rate))
+
+    def with_popularities(self, popularities: np.ndarray) -> "FilePopulation":
+        """Same files, new popularity vector (e.g. after a popularity shift)."""
+        return replace(self, popularities=np.asarray(popularities, dtype=np.float64))
+
+    @staticmethod
+    def uniform_sizes(
+        n_files: int,
+        size: float,
+        popularities: np.ndarray,
+        total_rate: float = 1.0,
+    ) -> "FilePopulation":
+        """Population of ``n_files`` equal-sized files (paper's EC2 setups)."""
+        if n_files <= 0:
+            raise ValueError("n_files must be positive")
+        return FilePopulation(
+            sizes=np.full(n_files, float(size)),
+            popularities=popularities,
+            total_rate=total_rate,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a caching cluster.
+
+    Attributes
+    ----------
+    n_servers:
+        Number of cache servers ``N``.
+    bandwidth:
+        Per-server network bandwidth in bytes/second.  Either a scalar
+        (homogeneous cluster, the common case in the paper) or an array of
+        shape ``(n_servers,)``.
+    capacity:
+        Per-server cache capacity in bytes (``inf`` = unbounded, used for the
+        latency experiments where the paper provisions enough memory).
+    client_bandwidth:
+        Aggregate bandwidth one client can pull across all parallel partition
+        streams of a single read, in bytes/second.  Defaults to 3x the mean
+        server NIC: the paper's iperf pairs measured 1 Gbps on a *single*
+        stream, but its measured latencies require multi-stream reads to run
+        ~3x faster (e.g. selective replication — all single-stream — lands
+        3.3-3.8x behind SP-Cache in Fig. 15).  The cap is why splitting a
+        file ever-finer eventually stops paying: a lone read bottoms out at
+        ``S / client_bandwidth`` no matter how large ``k`` grows, so further
+        partitions only buy load balancing — the physical origin of the
+        paper's elbow.
+    """
+
+    n_servers: int
+    bandwidth: float | np.ndarray = Gbps
+    capacity: float = float("inf")
+    client_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        bw = np.broadcast_to(
+            np.asarray(self.bandwidth, dtype=np.float64), (self.n_servers,)
+        ).copy()
+        if np.any(bw <= 0) or not np.all(np.isfinite(bw)):
+            raise ValueError("bandwidths must be positive and finite")
+        if not self.capacity > 0:
+            raise ValueError("capacity must be positive")
+        if self.client_bandwidth is not None and not self.client_bandwidth > 0:
+            raise ValueError("client_bandwidth must be positive")
+        object.__setattr__(self, "bandwidth", bw)
+
+    @property
+    def bandwidths(self) -> np.ndarray:
+        """Per-server bandwidth array ``B_s`` of shape ``(n_servers,)``."""
+        return self.bandwidth
+
+    @property
+    def effective_client_bandwidth(self) -> float:
+        """Client-side aggregate cap; defaults to 3x the mean server NIC."""
+        if self.client_bandwidth is not None:
+            return float(self.client_bandwidth)
+        return 3.0 * float(self.bandwidths.mean())
+
+    @property
+    def total_capacity(self) -> float:
+        return self.capacity * self.n_servers
+
+    def with_capacity(self, capacity: float) -> "ClusterSpec":
+        return replace(self, capacity=float(capacity))
+
+    def with_bandwidth(self, bandwidth: float | np.ndarray) -> "ClusterSpec":
+        return replace(self, bandwidth=bandwidth)
+
+
+# Default cluster used across the paper's EC2 experiments: 30 cache servers,
+# 1 Gbps NICs (r3.2xlarge measurement in Sec. 7.1), 10 GB of cache each.
+PAPER_CLUSTER = ClusterSpec(n_servers=30, bandwidth=Gbps, capacity=10 * GB)

@@ -1,0 +1,58 @@
+"""SP-Cache's core algorithms (the paper's contribution, Secs. 5-6).
+
+* :mod:`repro.core.partitioner` — Eq. (1): ``k_i = ceil(alpha * S_i * P_i)``
+  with the distinct-server constraint;
+* :mod:`repro.core.placement` — random and greedy least-loaded partition
+  placement shared by the analytical model and the policies;
+* :mod:`repro.core.latency_model` — the fork-join M/G/1 mean-latency upper
+  bound of Eqs. (4)-(13);
+* :mod:`repro.core.convex` — exact 1-D solver for the Eq. (9) inner
+  minimisation (replacing CVXPY);
+* :mod:`repro.core.scale_factor` — Algorithm 1's exponential elbow search;
+* :mod:`repro.core.repartition` — Algorithm 2's parallel repartition plan
+  plus its timing model (Figs. 16-18);
+* :mod:`repro.core.theory` — Theorem 1's load-variance comparison.
+"""
+
+from repro.core.convex import fork_join_upper_bound
+from repro.core.latency_model import ForkJoinModel, ModelEvaluation
+from repro.core.online import AdjustOp, OnlineAdjuster
+from repro.core.partitioner import partition_counts
+from repro.core.placement import place_partitions_greedy, place_partitions_random
+from repro.core.repartition import (
+    RepartitionPlan,
+    plan_repartition,
+    repartition_time_parallel,
+    repartition_time_sequential,
+)
+from repro.core.scale_factor import ScaleFactorSearch, optimal_scale_factor
+from repro.core.subfile import SegmentedFile, subfile_partition
+from repro.core.theory import (
+    ec_load_variance,
+    sp_load_variance,
+    variance_ratio,
+    variance_ratio_limit,
+)
+
+__all__ = [
+    "AdjustOp",
+    "ForkJoinModel",
+    "ModelEvaluation",
+    "OnlineAdjuster",
+    "RepartitionPlan",
+    "ScaleFactorSearch",
+    "SegmentedFile",
+    "subfile_partition",
+    "ec_load_variance",
+    "fork_join_upper_bound",
+    "optimal_scale_factor",
+    "partition_counts",
+    "place_partitions_greedy",
+    "place_partitions_random",
+    "plan_repartition",
+    "repartition_time_parallel",
+    "repartition_time_sequential",
+    "sp_load_variance",
+    "variance_ratio",
+    "variance_ratio_limit",
+]

@@ -1,0 +1,165 @@
+"""Online partition adjustment (Sec. 8, "Short-Term Popularity Variation").
+
+The paper's periodic (12-hourly) repartition cannot follow bursts.  Its
+proposed extension: adjust partition granularity *online* by splitting and
+combining existing partitions in a distributed manner, without collecting
+the file anywhere — a split cuts one cached partition in two on its own
+server (then offloads one half), and a merge pulls a sibling partition to a
+server that already holds its neighbour.  Either way at most half of the
+touched partitions' bytes cross the network, against the full file for a
+master-side repartition.
+
+:class:`OnlineAdjuster` implements the control loop: it watches a sliding
+window of per-file access counts, recomputes each file's load quantum, and
+emits :class:`AdjustOp` split/merge steps whenever a file's per-partition
+load drifts a factor of ``tolerance`` away from the target ``1/alpha``.
+Split/merge operations move along the doubling ladder, which keeps the
+plan incremental (one step per round per file) and the data movement
+bounded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.common import ClusterSpec, FilePopulation
+
+__all__ = ["AdjustOp", "OnlineAdjuster"]
+
+
+@dataclass(frozen=True)
+class AdjustOp:
+    """One online adjustment step for one file."""
+
+    file_id: int
+    action: Literal["split", "merge"]
+    old_k: int
+    new_k: int
+    moved_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.action == "split" and self.new_k <= self.old_k:
+            raise ValueError("split must increase k")
+        if self.action == "merge" and self.new_k >= self.old_k:
+            raise ValueError("merge must decrease k")
+
+
+class OnlineAdjuster:
+    """Sliding-window load watcher emitting incremental split/merge plans.
+
+    Parameters
+    ----------
+    population:
+        The cached files (sizes are what matters; popularities are
+        re-estimated from the observed window).
+    cluster:
+        Bounds ``k_i`` and provides bandwidth for the movement estimate.
+    alpha:
+        The current scale factor; the per-partition load target is
+        ``1/alpha``.
+    window:
+        Number of most recent requests the popularity estimate uses.
+    tolerance:
+        A file is adjusted when its per-partition load exceeds
+        ``tolerance / alpha`` (split) or drops below
+        ``1 / (tolerance * alpha)`` while ``k > 1`` (merge).
+    """
+
+    def __init__(
+        self,
+        population: FilePopulation,
+        cluster: ClusterSpec,
+        alpha: float,
+        initial_ks: np.ndarray,
+        window: int = 2000,
+        tolerance: float = 2.0,
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if tolerance <= 1:
+            raise ValueError("tolerance must exceed 1")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.population = population
+        self.cluster = cluster
+        self.alpha = float(alpha)
+        self.ks = np.asarray(initial_ks, dtype=np.int64).copy()
+        if self.ks.shape != (population.n_files,):
+            raise ValueError("initial_ks must cover every file")
+        self.window = window
+        self.tolerance = tolerance
+        self._recent: deque[int] = deque(maxlen=window)
+        self.total_moved_bytes = 0.0
+        self.ops_applied = 0
+
+    def observe(self, file_id: int) -> None:
+        """Record one read (the SP-Master already sees every request)."""
+        self._recent.append(int(file_id))
+
+    def observe_many(self, file_ids: np.ndarray) -> None:
+        for fid in np.asarray(file_ids).ravel():
+            self._recent.append(int(fid))
+
+    def estimated_popularities(self) -> np.ndarray:
+        """Window-based popularity estimate (uniform until data arrives)."""
+        n = self.population.n_files
+        if not self._recent:
+            return np.full(n, 1.0 / n)
+        counts = np.bincount(np.fromiter(self._recent, dtype=np.int64), minlength=n)
+        return counts / counts.sum()
+
+    def plan(self) -> list[AdjustOp]:
+        """One adjustment round: at most one doubling/halving per file."""
+        pops = self.estimated_popularities()
+        loads = self.population.sizes * pops
+        per_part = loads / self.ks
+        target = 1.0 / self.alpha
+        ops: list[AdjustOp] = []
+        for i in np.nonzero(per_part > self.tolerance * target)[0]:
+            new_k = min(int(self.ks[i]) * 2, self.cluster.n_servers)
+            if new_k == self.ks[i]:
+                continue
+            # A distributed split ships half of each split partition.
+            moved = float(self.population.sizes[i]) / 2.0
+            ops.append(
+                AdjustOp(int(i), "split", int(self.ks[i]), new_k, moved)
+            )
+        cold = (per_part < target / self.tolerance) & (self.ks > 1)
+        for i in np.nonzero(cold)[0]:
+            new_k = max(int(self.ks[i]) // 2, 1)
+            # A merge pulls one sibling per surviving partition.
+            moved = float(self.population.sizes[i]) / 2.0
+            ops.append(
+                AdjustOp(int(i), "merge", int(self.ks[i]), new_k, moved)
+            )
+        return ops
+
+    def apply(self, ops: list[AdjustOp]) -> None:
+        """Commit a plan (the data plane's work is accounted, not moved)."""
+        for op in ops:
+            if self.ks[op.file_id] != op.old_k:
+                raise ValueError(
+                    f"stale op for file {op.file_id}: expected k={op.old_k}, "
+                    f"have {self.ks[op.file_id]}"
+                )
+            self.ks[op.file_id] = op.new_k
+            self.total_moved_bytes += op.moved_bytes
+            self.ops_applied += 1
+
+    def step(self) -> list[AdjustOp]:
+        """Plan and apply one round; returns what was done."""
+        ops = self.plan()
+        self.apply(ops)
+        return ops
+
+    def adjustment_time(self, ops: list[AdjustOp]) -> float:
+        """Wall time of a round: splits/merges run on distinct servers in
+        parallel, so the cost is the largest single transfer."""
+        if not ops:
+            return 0.0
+        bw = float(self.cluster.bandwidths.min())
+        return max(op.moved_bytes for op in ops) / bw

@@ -1,0 +1,70 @@
+"""Selective partition sizing — Eq. (1).
+
+``k_i = ceil(alpha * L_i)`` with ``L_i = S_i * P_i``, so every partition
+carries roughly ``1/alpha`` of load and random placement then balances
+servers by construction (Sec. 5.1).  Two practical clamps the implementation
+needs that the formula glosses over:
+
+* at least one partition per file (cold files are left unsplit);
+* at most ``N`` partitions, because no two partitions of a file may share a
+  server.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import FilePopulation
+
+__all__ = ["partition_counts", "partition_sizes", "max_load"]
+
+
+def partition_counts(
+    loads: np.ndarray | FilePopulation,
+    alpha: float,
+    n_servers: int | None = None,
+) -> np.ndarray:
+    """Eq. (1): per-file partition counts for scale factor ``alpha``.
+
+    Parameters
+    ----------
+    loads:
+        Either the expected-load vector ``L_i = S_i * P_i`` (bytes) or a
+        :class:`~repro.common.FilePopulation` (its ``loads`` are used).
+    alpha:
+        System-wide scale factor (partitions per byte of expected load).
+    n_servers:
+        If given, counts are clamped to ``n_servers`` so the distinct-server
+        placement constraint stays satisfiable.
+    """
+    if isinstance(loads, FilePopulation):
+        loads = loads.loads
+    loads = np.asarray(loads, dtype=np.float64)
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if np.any(loads < 0):
+        raise ValueError("loads must be non-negative")
+    ks = np.ceil(alpha * loads).astype(np.int64)
+    ks = np.maximum(ks, 1)
+    if n_servers is not None:
+        if n_servers < 1:
+            raise ValueError("n_servers must be positive")
+        ks = np.minimum(ks, n_servers)
+    return ks
+
+
+def partition_sizes(
+    population: FilePopulation, ks: np.ndarray
+) -> np.ndarray:
+    """Per-file partition size ``S_i / k_i`` in bytes (Fig. 11's y-axis)."""
+    ks = np.asarray(ks)
+    if ks.shape != population.sizes.shape:
+        raise ValueError("ks must align with the population")
+    if np.any(ks < 1):
+        raise ValueError("partition counts must be >= 1")
+    return population.sizes / ks
+
+
+def max_load(population: FilePopulation) -> float:
+    """``L_max = max_i S_i * P_i`` — the hottest file's load (Theorem 1)."""
+    return float(population.loads.max())

@@ -1,0 +1,176 @@
+"""Algorithm 2: parallel repartition planning and its timing model.
+
+When popularities shift, SP-Cache recomputes the scale factor, leaves files
+whose partition count is unchanged where they are (recording their load so
+the balance accounting stays truthful), and re-places only the changed
+files onto the least-loaded servers.  Each changed file is handled by an
+SP-Repartitioner running on a server that already holds one of its
+partitions, so reassembly pulls ``k_old - 1`` partitions over the network
+instead of ``k_old``.
+
+Two timing models back Figs. 16-17:
+
+* **sequential** (the pre-journal-version baseline): the master collects and
+  re-splits *every* file one after another through its single NIC;
+* **parallel**: each repartitioner ships its own assignment concurrently;
+  completion time is the slowest repartitioner's work, computed per server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import ClusterSpec, FilePopulation, make_rng
+from repro.core.placement import placement_server_loads
+from repro.core.scale_factor import optimal_scale_factor
+from repro.core.partitioner import partition_counts
+
+__all__ = [
+    "RepartitionPlan",
+    "plan_repartition",
+    "repartition_time_parallel",
+    "repartition_time_sequential",
+]
+
+
+@dataclass(frozen=True)
+class RepartitionPlan:
+    """Outcome of Algorithm 2's planning phase."""
+
+    new_ks: np.ndarray
+    changed: np.ndarray  # bool per file: k_i != k'_i
+    new_servers_of: list[np.ndarray]  # placement for every file (changed or kept)
+    repartitioner_of: np.ndarray  # server running the repartition; -1 if kept
+    alpha: float
+
+    @property
+    def n_changed(self) -> int:
+        return int(self.changed.sum())
+
+    @property
+    def changed_fraction(self) -> float:
+        """Fig. 17's metric: fraction of files that must move."""
+        return self.n_changed / self.changed.size if self.changed.size else 0.0
+
+
+def plan_repartition(
+    population: FilePopulation,
+    cluster: ClusterSpec,
+    old_ks: np.ndarray,
+    old_servers_of: list[np.ndarray],
+    alpha: float | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> RepartitionPlan:
+    """Algorithm 2 lines 3-15 against the *new* popularity in ``population``.
+
+    ``old_ks``/``old_servers_of`` describe the current layout.  If ``alpha``
+    is None, Algorithm 1 is run first (line 3).  Unchanged files keep their
+    servers and seed the greedy load accounting (lines 6-9); changed files
+    are placed one partition at a time on the currently least-loaded server
+    that does not already hold one (lines 10-15).
+    """
+    rng = make_rng(seed)
+    old_ks = np.asarray(old_ks, dtype=np.int64)
+    n = population.n_files
+    if old_ks.shape != (n,) or len(old_servers_of) != n:
+        raise ValueError("old layout must cover every file")
+
+    if alpha is None:
+        alpha = optimal_scale_factor(population, cluster, seed=rng).alpha
+    new_ks = partition_counts(population, alpha, n_servers=cluster.n_servers)
+    changed = new_ks != old_ks
+    loads = population.loads
+
+    # Lines 5-9: seed server loads with the files staying put.
+    kept_servers = [
+        old_servers_of[i] if not changed[i] else np.empty(0, dtype=np.int64)
+        for i in range(n)
+    ]
+    server_loads = placement_server_loads(kept_servers, loads, cluster.n_servers)
+
+    # Lines 10-15: greedy placement of changed files, hottest first so the
+    # big load quanta land while the field is still level.
+    new_servers_of: list[np.ndarray] = list(kept_servers)
+    repartitioner_of = np.full(n, -1, dtype=np.int64)
+    for i in np.argsort(-loads * changed, kind="stable"):
+        if not changed[i]:
+            continue
+        k = int(new_ks[i])
+        per_part = loads[i] / k
+        chosen = np.empty(k, dtype=np.int64)
+        taken = np.zeros(cluster.n_servers, dtype=bool)
+        for slot in range(k):
+            masked = np.where(taken, np.inf, server_loads)
+            s = int(np.argmin(masked))
+            chosen[slot] = s
+            taken[s] = True
+            server_loads[s] += per_part
+        new_servers_of[i] = np.sort(chosen)
+        # The repartitioner runs where a current partition already lives.
+        old = old_servers_of[i]
+        repartitioner_of[i] = int(old[rng.integers(old.size)]) if old.size else 0
+
+    return RepartitionPlan(
+        new_ks=new_ks,
+        changed=changed,
+        new_servers_of=new_servers_of,
+        repartitioner_of=repartitioner_of,
+        alpha=float(alpha),
+    )
+
+
+def _moved_bytes(
+    size: float, old_k: int, new_k: int, repartitioner_local: bool
+) -> float:
+    """Bytes a repartitioner transfers for one file.
+
+    Collect ``old_k - 1`` remote partitions (one is local when the
+    repartitioner holds a partition), then push the new partitions, of which
+    at most one can stay local.
+    """
+    pull = size * (old_k - (1 if repartitioner_local else 0)) / old_k
+    push = size * max(new_k - 1, 0) / new_k
+    return pull + push
+
+
+def repartition_time_parallel(
+    plan: RepartitionPlan,
+    population: FilePopulation,
+    cluster: ClusterSpec,
+    old_ks: np.ndarray,
+) -> float:
+    """Completion time with one SP-Repartitioner per server (Fig. 16).
+
+    Repartitioners work concurrently; each server's wall time is its total
+    assigned bytes over its NIC bandwidth, and the round finishes when the
+    slowest server does.
+    """
+    old_ks = np.asarray(old_ks, dtype=np.int64)
+    per_server = np.zeros(cluster.n_servers)
+    for i in np.nonzero(plan.changed)[0]:
+        s = int(plan.repartitioner_of[i])
+        per_server[s] += _moved_bytes(
+            population.sizes[i], int(old_ks[i]), int(plan.new_ks[i]), True
+        )
+    times = per_server / cluster.bandwidths
+    return float(times.max()) if times.size else 0.0
+
+
+def repartition_time_sequential(
+    plan: RepartitionPlan,
+    population: FilePopulation,
+    cluster: ClusterSpec,
+    old_ks: np.ndarray,
+) -> float:
+    """Completion time of the naive scheme (Sec. 7.4's baseline).
+
+    The master collects and redistributes **all** files — changed or not —
+    in sequence through its own NIC (bandwidth of server 0's class).
+    """
+    del plan, old_ks  # the naive scheme moves every file regardless of layout
+    bw = float(cluster.bandwidths[0])
+    # Collect the whole file, then push every new partition back out: each
+    # file crosses the master's NIC twice.
+    return float(2.0 * population.sizes.sum() / bw)

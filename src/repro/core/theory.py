@@ -1,0 +1,102 @@
+"""Theorem 1: per-server load variance, SP-Cache vs EC-Cache.
+
+With random placement, a given server carries file ``i``'s partition-load
+``L_i / k_i`` with probability ``k_i / N`` (SP-Cache) or serves one of
+EC-Cache's ``k + 1`` late-bound reads with probability ``(k + 1) / N``.
+Summing the resulting Bernoulli variances gives closed forms; their ratio
+tends to ``(alpha / k) * sum L_i^2 / sum L_i`` as ``N`` grows, which under
+heavy skew is ``O(L_max)`` — the paper's headline balance advantage.
+
+:func:`monte_carlo_load_variance` verifies the closed forms empirically by
+sampling placements, which is what the Theorem 1 bench does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import make_rng
+from repro.core.partitioner import partition_counts
+
+__all__ = [
+    "sp_load_variance",
+    "ec_load_variance",
+    "variance_ratio",
+    "variance_ratio_limit",
+    "monte_carlo_load_variance",
+]
+
+
+def sp_load_variance(loads: np.ndarray, alpha: float, n_servers: int) -> float:
+    """Exact ``Var(X^SP)`` for one server under random placement."""
+    loads = np.asarray(loads, dtype=np.float64)
+    ks = partition_counts(loads, alpha, n_servers=n_servers).astype(np.float64)
+    p = ks / n_servers
+    return float(np.sum((loads / ks) ** 2 * p * (1 - p)))
+
+
+def ec_load_variance(
+    loads: np.ndarray, k: int, n: int, n_servers: int
+) -> float:
+    """Exact ``Var(X^EC)`` for a uniform (k, n) code with late binding."""
+    if not 1 <= k <= n <= n_servers:
+        raise ValueError("require 1 <= k <= n <= n_servers")
+    loads = np.asarray(loads, dtype=np.float64)
+    p = (k + 1) / n_servers
+    return float(np.sum((loads / k) ** 2 * p * (1 - p)))
+
+
+def variance_ratio(
+    loads: np.ndarray, alpha: float, k: int, n: int, n_servers: int
+) -> float:
+    """Exact ``Var(X^EC) / Var(X^SP)`` (finite-N version of Eq. 2)."""
+    sp = sp_load_variance(loads, alpha, n_servers)
+    if sp == 0:
+        return np.inf
+    return ec_load_variance(loads, k, n, n_servers) / sp
+
+
+def variance_ratio_limit(loads: np.ndarray, alpha: float, k: int) -> float:
+    """Eq. (2)'s large-N limit: ``(alpha / k) * sum L_i^2 / sum L_i``."""
+    loads = np.asarray(loads, dtype=np.float64)
+    total = loads.sum()
+    if total == 0:
+        raise ValueError("loads must have positive mass")
+    return float(alpha / k * np.sum(loads**2) / total)
+
+
+def monte_carlo_load_variance(
+    loads: np.ndarray,
+    ks: np.ndarray,
+    n_servers: int,
+    serve_probability_extra: int = 0,
+    n_trials: int = 2000,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """Empirical ``Var(X)`` of server 0's load over random placements.
+
+    ``serve_probability_extra`` is 0 for SP-Cache (a server holding a
+    partition always carries its share) and 1 for EC-Cache (late binding
+    touches ``k + 1`` of the ``n`` placed shards, making the per-server
+    serve probability ``(k + 1) / N``; we model it directly as a Bernoulli
+    over ``k + 1`` random distinct servers).
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    ks = np.asarray(ks, dtype=np.int64)
+    if loads.shape != ks.shape:
+        raise ValueError("loads and ks must align")
+    rng = make_rng(seed)
+    active = ks + serve_probability_extra
+    if np.any(active > n_servers):
+        raise ValueError("active partition count exceeds the cluster size")
+    per_part = loads / ks
+    samples = np.empty(n_trials)
+    n_files = loads.size
+    for t in range(n_trials):
+        x = 0.0
+        # Server 0 is touched iff it falls in the file's random active set,
+        # which happens with probability active_i / N.
+        hits = rng.random(n_files) < active / n_servers
+        x = float(np.sum(per_part[hits]))
+        samples[t] = x
+    return float(samples.var())

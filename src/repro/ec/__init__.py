@@ -1,0 +1,21 @@
+"""Erasure-coding substrate: GF(256) arithmetic and Reed-Solomon codes.
+
+This replaces the Intel ISA-L library EC-Cache builds on.  The codec is a
+systematic Vandermonde-based Reed-Solomon code over GF(2^8): a ``(k, n)``
+configuration splits data into ``k`` shards and derives ``n - k`` parity
+shards such that *any* ``k`` of the ``n`` shards reconstruct the original.
+All bulk operations are table-driven NumPy kernels.
+"""
+
+from repro.ec.codec import RSFileCodec, pad_to_shards, split_bytes, unsplit_bytes
+from repro.ec.galois import GF256
+from repro.ec.reed_solomon import ReedSolomon
+
+__all__ = [
+    "GF256",
+    "RSFileCodec",
+    "ReedSolomon",
+    "pad_to_shards",
+    "split_bytes",
+    "unsplit_bytes",
+]

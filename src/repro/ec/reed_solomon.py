@@ -1,0 +1,121 @@
+"""Systematic (k, n) Reed-Solomon erasure code over GF(256).
+
+Construction: take the ``n x k`` Vandermonde matrix ``V`` (full column rank
+for distinct evaluation points), and right-multiply by the inverse of its
+top ``k x k`` block.  The result is a generator matrix whose first ``k``
+rows are the identity — shards 0..k-1 are verbatim data (*systematic*), and
+shards k..n-1 are parity.  Any ``k`` rows of the generator remain
+invertible, so any ``k`` surviving shards reconstruct the data.
+
+This mirrors what EC-Cache gets from ISA-L, minus SIMD: encoding cost is
+``O((n-k) * k)`` vectorized GF multiplications over the shard width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec.galois import GF256
+
+__all__ = ["ReedSolomon"]
+
+
+class ReedSolomon:
+    """A ``(k, n)`` systematic Reed-Solomon codec for equal-length shards.
+
+    Parameters
+    ----------
+    k:
+        Number of data shards (any ``k`` shards decode).
+    n:
+        Total shards, ``k <= n <= 256``.
+    """
+
+    def __init__(self, k: int, n: int) -> None:
+        if not 1 <= k <= n:
+            raise ValueError(f"require 1 <= k <= n, got k={k}, n={n}")
+        if n > 256:
+            raise ValueError("GF(256) supports at most 256 shards")
+        self.k = k
+        self.n = n
+        vand = GF256.vandermonde(n, k)
+        top_inv = GF256.mat_inv(vand[:k])
+        #: ``n x k`` generator; top block is the identity.
+        self.generator = GF256.matmul(vand, top_inv)
+
+    @property
+    def n_parity(self) -> int:
+        return self.n - self.k
+
+    @property
+    def overhead(self) -> float:
+        """Memory overhead ``(n - k) / k`` (Sec. 3.2)."""
+        return (self.n - self.k) / self.k
+
+    def encode(self, data_shards: np.ndarray) -> np.ndarray:
+        """Encode ``(k, width)`` data shards into ``(n, width)`` total shards.
+
+        The first ``k`` output rows are the input rows (systematic); the rest
+        are parity.
+        """
+        data_shards = np.asarray(data_shards, dtype=np.uint8)
+        if data_shards.ndim != 2 or data_shards.shape[0] != self.k:
+            raise ValueError(
+                f"expected (k={self.k}, width) data shards, got {data_shards.shape}"
+            )
+        parity = GF256.matmul(self.generator[self.k :], data_shards)
+        return np.concatenate([data_shards, parity], axis=0)
+
+    def decode(
+        self, shard_ids: np.ndarray | list[int], shards: np.ndarray
+    ) -> np.ndarray:
+        """Reconstruct the ``(k, width)`` data block from any ``k`` shards.
+
+        Parameters
+        ----------
+        shard_ids:
+            Indices (in ``0..n-1``) of the surviving shards, length >= k.
+            Extra shards beyond ``k`` are ignored (late binding hands us
+            ``k + 1`` reads; we decode from the first ``k`` to arrive).
+        shards:
+            Array of shape ``(len(shard_ids), width)`` with the shard bytes.
+        """
+        shard_ids = np.asarray(shard_ids, dtype=np.int64)
+        shards = np.asarray(shards, dtype=np.uint8)
+        if shard_ids.ndim != 1 or shards.ndim != 2:
+            raise ValueError("shard_ids must be 1-D and shards 2-D")
+        if shard_ids.size != shards.shape[0]:
+            raise ValueError("one id per shard row required")
+        if shard_ids.size < self.k:
+            raise ValueError(
+                f"need at least k={self.k} shards, got {shard_ids.size}"
+            )
+        if np.unique(shard_ids).size != shard_ids.size:
+            raise ValueError("duplicate shard ids")
+        if np.any(shard_ids < 0) or np.any(shard_ids >= self.n):
+            raise ValueError("shard ids out of range")
+
+        use_ids = shard_ids[: self.k]
+        use_shards = shards[: self.k]
+        if np.array_equal(use_ids, np.arange(self.k)):
+            return use_shards.copy()  # all-systematic fast path
+        sub = self.generator[use_ids]
+        inv = GF256.mat_inv(sub)
+        return GF256.matmul(inv, use_shards)
+
+    def reconstruct_shard(
+        self,
+        missing_id: int,
+        shard_ids: np.ndarray | list[int],
+        shards: np.ndarray,
+    ) -> np.ndarray:
+        """Rebuild one lost shard from any ``k`` survivors.
+
+        Decodes the data block and re-applies the missing generator row —
+        the repair path a cache server would run after a worker loss.
+        """
+        if not 0 <= missing_id < self.n:
+            raise ValueError("missing_id out of range")
+        data = self.decode(shard_ids, shards)
+        row = self.generator[missing_id : missing_id + 1]
+        return GF256.matmul(row, data)[0]

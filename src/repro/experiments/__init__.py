@@ -1,0 +1,16 @@
+"""Experiment runners: one module per table/figure of the evaluation.
+
+Every runner returns a list of row dicts (ready for
+:func:`repro.analysis.tables.print_table`) and takes a ``scale`` knob that
+shrinks request counts for quick runs.  The benchmarks in ``benchmarks/``
+wrap these runners; ``python -m repro.experiments.run_all`` regenerates
+everything into ``results/``.
+"""
+
+from repro.experiments.config import (
+    EC2_CLUSTER,
+    ExperimentDefaults,
+    sim_config,
+)
+
+__all__ = ["EC2_CLUSTER", "ExperimentDefaults", "sim_config"]

@@ -1,0 +1,60 @@
+"""Shared experimental defaults (Sec. 7.1's methodology).
+
+30 cache servers with 1 Gbps NICs and 10 GB of cache each; clients submit
+Poisson reads; skewed popularity is Zipf(1.05) unless an experiment says
+otherwise.  ``scale`` shrinks the request count of every simulation
+uniformly so the same runners serve quick CI checks and full benchmark
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import SimulationConfig, StragglerInjector
+from repro.common import GB, ClusterSpec, Gbps
+
+__all__ = ["EC2_CLUSTER", "ExperimentDefaults", "sim_config"]
+
+#: The paper's EC2 deployment: 30 r3.2xlarge cache servers, 1 Gbps.
+EC2_CLUSTER = ClusterSpec(n_servers=30, bandwidth=Gbps, capacity=10 * GB)
+
+#: Fig. 15's compute-optimized variant: c4.4xlarge, 1.4 Gbps measured.
+C4_CLUSTER = ClusterSpec(n_servers=30, bandwidth=1.4 * Gbps, capacity=10 * GB)
+
+
+@dataclass(frozen=True)
+class ExperimentDefaults:
+    """Request-volume and seed defaults for simulation-backed experiments."""
+
+    n_requests: int = 4000
+    seed_trace: int = 11
+    seed_policy: int = 5
+    seed_sim: int = 23
+
+    def requests(self, scale: float = 1.0) -> int:
+        return max(int(self.n_requests * scale), 200)
+
+
+DEFAULTS = ExperimentDefaults()
+
+
+def sim_config(
+    stragglers: StragglerInjector | None = None,
+    cache_budget: float | None = None,
+    seed: int = DEFAULTS.seed_sim,
+) -> SimulationConfig:
+    """The EC2-reproduction simulation settings.
+
+    Processor-sharing servers, deterministic transfers (real byte streams),
+    natural stragglers by default — see DESIGN.md's substitution notes.
+    """
+    return SimulationConfig(
+        discipline="ps",
+        jitter="deterministic",
+        stragglers=stragglers
+        if stragglers is not None
+        else StragglerInjector.natural(),
+        cache_budget=cache_budget,
+        seed=seed,
+    )

@@ -1,0 +1,73 @@
+"""Fig. 4 — EC-Cache's decoding overhead versus file size.
+
+The paper measures decode time normalized by read latency on a (10, 14)
+code: ~5-10 % for small files, consistently above 15 % for >= 100 MB
+(box plot, Fig. 4).  We measure our real GF(256) Reed-Solomon codec on
+real payloads.  Two normalizations are reported:
+
+* ``measured`` — decode seconds of our pure-NumPy codec over the modeled
+  read time.  Honest but pessimistic: ISA-L decodes ~50x faster than
+  NumPy table lookups.
+* ``calibrated`` — the same decode *work* rescaled to ISA-L-class
+  throughput (3 GB/s), which is the figure the EC-Cache policy's 20 %
+  default overhead is checked against.
+
+The *shape* — overhead growing with file size toward a plateau — is
+independent of the throughput constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import GB, MB
+from repro.ec.codec import RSFileCodec
+from repro.experiments.config import EC2_CLUSTER
+
+__all__ = ["run_fig04"]
+
+#: ISA-L-class decode throughput used for the calibrated column.
+ISAL_THROUGHPUT = 3 * GB
+
+#: Fixed per-read latency floor (RPC + connection setup) the transfer-time
+#: model adds; this is why small files show *lower* decoding overhead —
+#: their read latency is dominated by fixed costs, not bytes.
+FIXED_READ_LATENCY = 0.02
+
+PAPER = {"overhead_at_100mb": ">= 0.15", "simulation_setting": 0.20}
+
+
+def run_fig04(
+    sizes_mb: tuple[float, ...] = (1, 5, 10, 40, 100),
+    trials: int = 2,
+    seed: int = 0,
+) -> list[dict]:
+    rng = np.random.default_rng(seed)
+    codec = RSFileCodec(k=10, n=14)
+    client_bw = EC2_CLUSTER.effective_client_bandwidth
+    rows = []
+    for size_mb in sizes_mb:
+        size = int(size_mb * MB)
+        measured = []
+        for _ in range(trials):
+            data = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+            shards, orig_len = codec.encode_file(data)
+            ids = list(rng.choice(14, size=10, replace=False))
+            codec.decode_file(ids, [shards[i] for i in ids], orig_len)
+            measured.append(codec.last_decode_seconds)
+        decode_s = float(np.median(measured))
+        # Read latency model: 1.1x the bytes (late binding) through the
+        # client NIC plus a fixed RPC/connection floor.
+        read_s = FIXED_READ_LATENCY + 1.1 * size / client_bw
+        calibrated_decode_s = size / ISAL_THROUGHPUT
+        rows.append(
+            {
+                "size_mb": size_mb,
+                "decode_s_numpy": decode_s,
+                "overhead_measured": decode_s / (decode_s + read_s),
+                "overhead_calibrated": calibrated_decode_s
+                / (calibrated_decode_s + read_s),
+                "decode_throughput_mb_s": size / MB / decode_s,
+            }
+        )
+    return rows

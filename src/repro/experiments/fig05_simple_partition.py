@@ -1,0 +1,64 @@
+"""Fig. 5 + Table 3 — simple (uniform) partition, with and without stragglers.
+
+Setup (Sec. 4.1/4.2): the Sec. 2.2 cluster stress-tested at rate 10; every
+file split into the same ``k`` partitions; stragglers injected per read
+with probability 0.05 and Bing-profiled delay factors.
+
+Paper shape: without stragglers the mean latency collapses from ~20 s
+(k=1, Fig. 2) to 1-1.3 s and the CV falls with k; with stragglers the
+latency stops improving and the CV *rises* with k (wide fork-joins are
+exposed), which is the whole case for *selective* partition.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import StragglerInjector, simulate_reads
+from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
+from repro.policies import SimplePartitionPolicy
+from repro.workloads import paper_fileset, poisson_trace
+
+__all__ = ["run_fig05"]
+
+PAPER = {
+    "latency_no_stragglers": "1-1.3 s for k in 3..27",
+    "cv_no_stragglers": {3: 1.02, 9: 0.75, 15: 0.55, 21: 0.44, 27: 0.48},
+    "cv_stragglers": {3: 1.03, 9: 1.10, 15: 1.05, 21: 1.17, 27: 1.35},
+}
+
+
+def run_fig05(
+    scale: float = 1.0, ks: tuple[int, ...] = (1, 3, 9, 15, 21, 27)
+) -> list[dict]:
+    pop = paper_fileset(50, size_mb=40, zipf_exponent=1.1, total_rate=10.0)
+    trace = poisson_trace(
+        pop, n_requests=DEFAULTS.requests(scale), seed=DEFAULTS.seed_trace
+    )
+    rows = []
+    for k in ks:
+        policy = SimplePartitionPolicy(
+            pop, EC2_CLUSTER, k=k, seed=DEFAULTS.seed_policy
+        )
+        clean = simulate_reads(
+            trace,
+            policy,
+            EC2_CLUSTER,
+            sim_config(stragglers=StragglerInjector.none()),
+        ).summary()
+        strag = simulate_reads(
+            trace,
+            policy,
+            EC2_CLUSTER,
+            sim_config(stragglers=StragglerInjector.injected()),
+        ).summary()
+        rows.append(
+            {
+                "k": k,
+                "mean_s": clean.mean,
+                "mean_s_stragglers": strag.mean,
+                "cv": clean.cv,
+                "cv_stragglers": strag.cv,
+                "paper_cv": PAPER["cv_no_stragglers"].get(k, ""),
+                "paper_cv_strag": PAPER["cv_stragglers"].get(k, ""),
+            }
+        )
+    return rows

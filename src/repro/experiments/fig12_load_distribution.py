@@ -1,0 +1,41 @@
+"""Fig. 12 — per-server load distribution under the three schemes.
+
+Setup (Sec. 7.3): the 500-file workload at rate 18; "load" is the total
+bytes a server actually ships.  Paper result: imbalance factors
+eta = 0.18 (SP-Cache), 0.44 (EC-Cache), 1.18 (selective replication) —
+SP-Cache 2.4x better than EC-Cache and 6.6x better than replication.
+"""
+
+from __future__ import annotations
+
+from repro.common import GB
+from repro.experiments.config import EC2_CLUSTER
+from repro.experiments.skew_resilience import (
+    compare_schemes,
+    default_schemes,
+    load_distribution_rows,
+    sec73_population,
+)
+
+__all__ = ["run_fig12"]
+
+PAPER = {"eta": {"sp-cache": 0.18, "ec-cache": 0.44, "selective-replication": 1.18}}
+
+
+def run_fig12(scale: float = 1.0, rate: float = 18.0) -> list[dict]:
+    pop = sec73_population(rate)
+    stats = compare_schemes(pop, EC2_CLUSTER, default_schemes(), scale=scale)
+    rows = []
+    for name, s in stats.items():
+        dist = load_distribution_rows(s["server_bytes"])
+        rows.append(
+            {
+                "scheme": name,
+                "min_load_gb": dist["min"] / GB,
+                "median_load_gb": dist["p50"] / GB,
+                "max_load_gb": dist["max"] / GB,
+                "eta": dist["eta"],
+                "paper_eta": PAPER["eta"][name],
+            }
+        )
+    return rows

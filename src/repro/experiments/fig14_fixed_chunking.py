@@ -1,0 +1,60 @@
+"""Fig. 14 — SP-Cache versus fixed-size chunking (4/8/16 MB chunks).
+
+Paper shape: small chunks pay heavy connection overhead at light load (4 MB
+up to 46 % slower than SP-Cache below rate 15) but balance well; large
+chunks (16 MB) avoid the overhead but leave hot spots, ending over 2x
+SP-Cache's mean at rate 22.  Tails of the small-chunk configs are
+comparable to SP-Cache.
+"""
+
+from __future__ import annotations
+
+from repro.common import MB
+from repro.experiments.config import DEFAULTS, EC2_CLUSTER
+from repro.experiments.skew_resilience import (
+    compare_schemes,
+    improvement_pct,
+    sec73_population,
+)
+from repro.policies import FixedChunkingPolicy, SPCachePolicy
+
+__all__ = ["run_fig14"]
+
+PAPER = {
+    "small_chunks_light_load": "4 MB up to 46 % slower than SP below rate 15",
+    "large_chunks_heavy_load": "16 MB mean > 2x SP at rate 22",
+}
+
+
+def run_fig14(
+    scale: float = 1.0, rates: tuple[float, ...] = (6, 10, 14, 18, 22)
+) -> list[dict]:
+    schemes = {
+        "sp-cache": lambda pop, cl: SPCachePolicy(
+            pop, cl, seed=DEFAULTS.seed_policy
+        ),
+        "chunk-4mb": lambda pop, cl: FixedChunkingPolicy(
+            pop, cl, chunk_size=4 * MB, seed=DEFAULTS.seed_policy
+        ),
+        "chunk-8mb": lambda pop, cl: FixedChunkingPolicy(
+            pop, cl, chunk_size=8 * MB, seed=DEFAULTS.seed_policy
+        ),
+        "chunk-16mb": lambda pop, cl: FixedChunkingPolicy(
+            pop, cl, chunk_size=16 * MB, seed=DEFAULTS.seed_policy
+        ),
+    }
+    rows = []
+    for rate in rates:
+        stats = compare_schemes(
+            sec73_population(rate), EC2_CLUSTER, schemes, scale=scale
+        )
+        row = {"rate": rate}
+        for name, s in stats.items():
+            key = name.replace("-", "_")
+            row[f"{key}_mean"] = s["mean_s"]
+            row[f"{key}_p95"] = s["p95_s"]
+        row["sp_vs_16mb_pct"] = improvement_pct(
+            stats["chunk-16mb"]["mean_s"], stats["sp-cache"]["mean_s"]
+        )
+        rows.append(row)
+    return rows

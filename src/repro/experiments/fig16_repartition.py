@@ -1,0 +1,126 @@
+"""Figs. 16-18 — reacting to popularity shifts with parallel repartition.
+
+Setup (Sec. 7.4): files of 50 MB; the popularity ranks of all files are
+randomly shuffled (a far more drastic shift than production traces show);
+SP-Cache re-plans with Algorithm 2.
+
+Paper results:
+* Fig. 16 — parallel repartition finishes in < 3 s up to 350 files and
+  grows slowly; the sequential scheme needs ~319 s (two orders slower).
+* Fig. 17 — the fraction of files needing repartition *decreases* with the
+  file count (heavy tail: most files stay single-partition).
+* Fig. 18 — greedy least-loaded placement (parallel scheme) balances load
+  better than random placement (sequential scheme) after the shift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import plan_repartition
+from repro.core.partitioner import partition_counts
+from repro.core.placement import (
+    place_partitions_random,
+    placement_server_loads,
+)
+from repro.core.repartition import (
+    repartition_time_parallel,
+    repartition_time_sequential,
+)
+from repro.cluster import imbalance_factor
+from repro.experiments.config import EC2_CLUSTER
+from repro.policies import SPCachePolicy
+from repro.workloads import paper_fileset, shuffled_popularity
+
+__all__ = ["run_fig16"]
+
+PAPER = {
+    "parallel_time": "< 3 s up to 350 files",
+    "sequential_time": "~319 s",
+    "changed_fraction": "decreases with file count",
+    "greedy_beats_random": True,
+}
+
+
+def run_fig16(
+    file_counts: tuple[int, ...] = (100, 150, 200, 250, 300, 350),
+    trials: int = 5,
+) -> list[dict]:
+    rows = []
+    for n_files in file_counts:
+        par_times, seq_times, fracs, etas_greedy, etas_random = (
+            [],
+            [],
+            [],
+            [],
+            [],
+        )
+        for trial in range(trials):
+            pop = paper_fileset(
+                n_files, size_mb=50, zipf_exponent=1.05, total_rate=10.0
+            )
+            # Straggler-aware configuration: selective splitting, so most
+            # cold files hold a single partition and survive the shuffle
+            # untouched — the regime Figs. 16-17 measure.
+            policy = SPCachePolicy(
+                pop, EC2_CLUSTER, straggler_aware=True, seed=trial
+            )
+            old_ks = policy.partition_counts()
+            old_servers = policy.servers_of
+
+            shifted = pop.with_popularities(
+                shuffled_popularity(pop.popularities, seed=trial)
+            )
+            plan = plan_repartition(
+                shifted,
+                EC2_CLUSTER,
+                old_ks,
+                old_servers,
+                alpha=policy.alpha,
+                seed=trial,
+            )
+            par_times.append(
+                repartition_time_parallel(plan, shifted, EC2_CLUSTER, old_ks)
+            )
+            seq_times.append(
+                repartition_time_sequential(
+                    plan, shifted, EC2_CLUSTER, old_ks
+                )
+            )
+            fracs.append(plan.changed_fraction)
+            etas_greedy.append(
+                imbalance_factor(
+                    placement_server_loads(
+                        plan.new_servers_of,
+                        shifted.loads,
+                        EC2_CLUSTER.n_servers,
+                    )
+                )
+            )
+            # The sequential baseline re-places everything randomly.
+            random_servers = place_partitions_random(
+                partition_counts(
+                    shifted, plan.alpha, n_servers=EC2_CLUSTER.n_servers
+                ),
+                EC2_CLUSTER.n_servers,
+                seed=trial + 1000,
+            )
+            etas_random.append(
+                imbalance_factor(
+                    placement_server_loads(
+                        random_servers, shifted.loads, EC2_CLUSTER.n_servers
+                    )
+                )
+            )
+        rows.append(
+            {
+                "n_files": n_files,
+                "parallel_s": float(np.mean(par_times)),
+                "sequential_s": float(np.mean(seq_times)),
+                "speedup": float(np.mean(seq_times) / np.mean(par_times)),
+                "changed_fraction": float(np.mean(fracs)),
+                "eta_greedy": float(np.mean(etas_greedy)),
+                "eta_random": float(np.mean(etas_random)),
+            }
+        )
+    return rows

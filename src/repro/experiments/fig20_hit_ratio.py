@@ -1,0 +1,46 @@
+"""Fig. 20 — cache hit ratio under a throttled cache budget.
+
+Setup (Sec. 7.6): the Sec. 7.3 workload with the cluster-wide cache budget
+throttled below the dataset size; LRU replacement at file granularity; a
+file's cached footprint includes its scheme's redundancy.  Paper result:
+redundancy-free SP-Cache keeps the most files resident and wins the hit
+ratio at every budget; selective replication is worst (each hot replica
+evicts a not-so-hot file).
+"""
+
+from __future__ import annotations
+
+from repro.cluster import simulate_reads
+from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
+from repro.experiments.skew_resilience import default_schemes, sec73_population
+from repro.workloads import poisson_trace
+
+__all__ = ["run_fig20"]
+
+PAPER = {"ordering": "sp-cache > ec-cache > selective-replication"}
+
+
+def run_fig20(
+    scale: float = 1.0,
+    budget_fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2),
+    rate: float = 10.0,
+) -> list[dict]:
+    pop = sec73_population(rate)
+    trace = poisson_trace(
+        pop, n_requests=DEFAULTS.requests(scale), seed=DEFAULTS.seed_trace
+    )
+    rows = []
+    for frac in budget_fractions:
+        budget = frac * pop.total_bytes
+        row = {"budget_fraction": frac}
+        for name, factory in default_schemes().items():
+            policy = factory(pop, EC2_CLUSTER)
+            result = simulate_reads(
+                trace,
+                policy,
+                EC2_CLUSTER,
+                sim_config(cache_budget=budget),
+            )
+            row[name.replace("-", "_") + "_hit"] = result.hit_ratio
+        rows.append(row)
+    return rows

@@ -1,0 +1,76 @@
+"""Fig. 21 — trace-driven simulation with realistic sizes and arrivals.
+
+Setup (Sec. 7.7): 3k files with Yahoo!-distributed sizes (larger = more
+popular), Zipf(1.1) popularity, bursty Google-style arrivals instead of
+Poisson, injected stragglers, a throttled 300 GB cluster cache (30 x
+10 GB), a cache miss costing 3x a hit, and EC-Cache decoding at 20 %.
+
+Paper result: mean latencies 3.8 s (SP-Cache), 6.0 s (EC-Cache), 44.1 s
+(selective replication) — redundant caching of big hot files wrecks the
+hit ratio, and replication collapses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import cdf_points
+from repro.cluster import StragglerInjector, simulate_reads
+from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
+from repro.experiments.skew_resilience import default_schemes
+from repro.workloads import GoogleArrivalModel, trace_from_times, yahoo_file_population
+
+__all__ = ["run_fig21"]
+
+PAPER = {"mean_s": {"sp-cache": 3.8, "ec-cache": 6.0, "selective-replication": 44.1}}
+
+
+def run_fig21(
+    scale: float = 1.0,
+    n_files: int = 3000,
+    rate: float = 3.0,
+) -> list[dict]:
+    # Rate calibration: with Yahoo!-distributed sizes the expected bytes
+    # per request are ~490 MB (hot files are huge), so the 30 x 1 Gbps
+    # cluster saturates just above 7 req/s *on average* — and the Google
+    # arrival model bursts at ~4x its quiet rate, so sustained stability
+    # needs mean utilisation well below that.  Rate 3 (~0.4 mean
+    # utilisation, >1 during bursts) is the loaded-but-recoverable regime
+    # the paper's numbers (3.8 s vs 6.0 s vs 44.1 s) imply.
+    pop = yahoo_file_population(
+        n_files, total_rate=rate, zipf_exponent=1.1, seed=3
+    )
+    n_requests = DEFAULTS.requests(scale)
+    times = GoogleArrivalModel().arrival_times(
+        rate, horizon=n_requests / rate, seed=DEFAULTS.seed_trace
+    )
+    trace = trace_from_times(times, pop, seed=DEFAULTS.seed_trace)
+    # Budget calibration: the paper's 300 GB cluster cache was *scarce* for
+    # its (unpublished) dataset; we throttle to 80 % of the raw bytes so
+    # redundancy actually costs residency: SP-Cache (1.0x footprint) barely
+    # evicts while EC-Cache (1.4x) and replication must.
+    budget = 0.8 * pop.total_bytes
+
+    rows = []
+    for name, factory in default_schemes(decode_overhead=0.2).items():
+        policy = factory(pop, EC2_CLUSTER)
+        result = simulate_reads(
+            trace,
+            policy,
+            EC2_CLUSTER,
+            sim_config(
+                stragglers=StragglerInjector.injected(), cache_budget=budget
+            ),
+        )
+        summary = result.summary()
+        xs, _ = cdf_points(result.steady_state_latencies(), n_points=5)
+        rows.append(
+            {
+                "scheme": name,
+                "mean_s": summary.mean,
+                "p50_s": summary.p50,
+                "p95_s": summary.p95,
+                "hit_ratio": result.hit_ratio,
+                "cdf_p75_s": float(xs[3]),
+                "paper_mean_s": PAPER["mean_s"][name],
+            }
+        )
+    return rows

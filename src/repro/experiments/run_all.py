@@ -1,0 +1,89 @@
+"""Regenerate every table and figure: ``python -m repro.experiments.run_all``.
+
+Writes each experiment's table to stdout and to ``results/<exp>.txt``.
+``--scale 0.25`` shrinks the simulated request counts for a quick pass;
+``--only fig13`` runs a single experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.analysis.tables import format_table
+
+from repro.experiments.fig01_trace_stats import run_fig01
+from repro.experiments.fig02_caching_benefit import run_fig02
+from repro.experiments.fig03_replication import run_fig03
+from repro.experiments.fig04_decoding import run_fig04
+from repro.experiments.fig05_simple_partition import run_fig05
+from repro.experiments.fig06_goodput import run_fig06
+from repro.experiments.fig08_upper_bound import run_fig08
+from repro.experiments.fig10_config_overhead import run_fig10
+from repro.experiments.fig11_partition_sizes import run_fig11
+from repro.experiments.fig12_load_distribution import run_fig12
+from repro.experiments.fig13_skew_resilience import run_fig13
+from repro.experiments.fig14_fixed_chunking import run_fig14
+from repro.experiments.fig15_compute_optimized import run_fig15
+from repro.experiments.fig16_repartition import run_fig16
+from repro.experiments.fig19_stragglers import run_fig19
+from repro.experiments.fig20_hit_ratio import run_fig20
+from repro.experiments.fig21_trace_driven import run_fig21
+from repro.experiments.fig22_write_latency import run_fig22
+from repro.experiments.theorem1 import run_theorem1
+
+__all__ = ["EXPERIMENTS", "main"]
+
+#: name -> (runner, accepts_scale)
+EXPERIMENTS = {
+    "fig01": (run_fig01, False),
+    "fig02": (run_fig02, True),
+    "fig03": (run_fig03, True),
+    "fig04": (run_fig04, False),
+    "fig05": (run_fig05, True),
+    "fig06": (run_fig06, False),
+    "fig08": (run_fig08, True),
+    "fig10": (run_fig10, False),
+    "fig11": (run_fig11, False),
+    "fig12": (run_fig12, True),
+    "fig13": (run_fig13, True),
+    "fig14": (run_fig14, True),
+    "fig15": (run_fig15, True),
+    "fig16": (run_fig16, False),
+    "fig19": (run_fig19, True),
+    "fig20": (run_fig20, True),
+    "fig21": (run_fig21, True),
+    "fig22": (run_fig22, False),
+    "theorem1": (run_theorem1, False),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--only", type=str, default=None)
+    parser.add_argument("--out", type=str, default="results")
+    args = parser.parse_args(argv)
+
+    outdir = pathlib.Path(args.out)
+    outdir.mkdir(exist_ok=True)
+    names = [args.only] if args.only else list(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        runner, scalable = EXPERIMENTS[name]
+        start = time.perf_counter()
+        rows = runner(scale=args.scale) if scalable else runner()
+        elapsed = time.perf_counter() - start
+        text = format_table(rows, title=f"== {name} ({elapsed:.1f}s) ==")
+        print(text)
+        print()
+        (outdir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

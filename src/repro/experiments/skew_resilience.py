@@ -1,0 +1,108 @@
+"""Shared machinery for the scheme-comparison experiments (Figs. 12-15, 19).
+
+All of them run the same loop: build a policy per scheme on the Sec. 7.3
+workload (500 files x 100 MB, Zipf(1.05)), push a Poisson trace through the
+simulator, and compare mean/tail latency and the load-imbalance factor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster import StragglerInjector, imbalance_factor, simulate_reads
+from repro.common import ClusterSpec, FilePopulation
+from repro.experiments.config import DEFAULTS, sim_config
+from repro.policies import (
+    CachePolicy,
+    ECCachePolicy,
+    SelectiveReplicationPolicy,
+    SPCachePolicy,
+)
+from repro.workloads import paper_fileset, poisson_trace
+
+__all__ = [
+    "default_schemes",
+    "sec73_population",
+    "compare_schemes",
+    "improvement_pct",
+]
+
+PolicyFactory = Callable[[FilePopulation, ClusterSpec], CachePolicy]
+
+
+def sec73_population(rate: float, n_files: int = 500) -> FilePopulation:
+    """The Sec. 7.3 workload: 500 x 100 MB files, Zipf(1.05)."""
+    return paper_fileset(
+        n_files, size_mb=100, zipf_exponent=1.05, total_rate=rate
+    )
+
+
+def default_schemes(
+    decode_overhead: float = 0.2,
+) -> dict[str, PolicyFactory]:
+    """SP-Cache vs the two redundant-caching baselines, paper settings."""
+    return {
+        "sp-cache": lambda pop, cl: SPCachePolicy(
+            pop, cl, seed=DEFAULTS.seed_policy
+        ),
+        "ec-cache": lambda pop, cl: ECCachePolicy(
+            pop,
+            cl,
+            k=10,
+            n=14,
+            decode_overhead=decode_overhead,
+            seed=DEFAULTS.seed_policy,
+        ),
+        "selective-replication": lambda pop, cl: SelectiveReplicationPolicy(
+            pop, cl, top_fraction=0.10, replicas=4, seed=DEFAULTS.seed_policy
+        ),
+    }
+
+
+def compare_schemes(
+    population: FilePopulation,
+    cluster: ClusterSpec,
+    schemes: dict[str, PolicyFactory],
+    stragglers: StragglerInjector | None = None,
+    scale: float = 1.0,
+) -> dict[str, dict]:
+    """Run every scheme on one trace; returns per-scheme stat dicts."""
+    trace = poisson_trace(
+        population,
+        n_requests=DEFAULTS.requests(scale),
+        seed=DEFAULTS.seed_trace,
+    )
+    out: dict[str, dict] = {}
+    for name, factory in schemes.items():
+        policy = factory(population, cluster)
+        result = simulate_reads(
+            trace, policy, cluster, sim_config(stragglers=stragglers)
+        )
+        summary = result.summary()
+        out[name] = {
+            "mean_s": summary.mean,
+            "p95_s": summary.p95,
+            "cv": summary.cv,
+            "eta": imbalance_factor(result.server_bytes),
+            "memory_overhead_pct": policy.memory_overhead() * 100,
+            "server_bytes": result.server_bytes,
+        }
+    return out
+
+
+def improvement_pct(baseline: float, sp: float) -> float:
+    """Eq. (14): positive means SP-Cache is faster."""
+    return (baseline - sp) / baseline * 100.0
+
+
+def load_distribution_rows(server_bytes: np.ndarray) -> dict[str, float]:
+    """Summary stats of a per-server load vector (Figs. 12/18)."""
+    loads = np.asarray(server_bytes, dtype=np.float64)
+    return {
+        "min": float(loads.min()),
+        "p50": float(np.median(loads)),
+        "max": float(loads.max()),
+        "eta": imbalance_factor(loads),
+    }

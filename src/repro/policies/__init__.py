@@ -1,0 +1,25 @@
+"""Caching/load-balancing schemes: SP-Cache and every baseline it fights.
+
+All policies implement the :class:`~repro.cluster.client.ReadPlanner`
+protocol consumed by the simulator, plus a write model for the Sec. 7.8
+experiment and bookkeeping (memory overhead, placement) used by the
+analysis figures.
+"""
+
+from repro.policies.base import CachePolicy
+from repro.policies.ec_cache import ECCachePolicy
+from repro.policies.fixed_chunking import FixedChunkingPolicy
+from repro.policies.selective_replication import SelectiveReplicationPolicy
+from repro.policies.simple_partition import SimplePartitionPolicy
+from repro.policies.single_copy import SingleCopyPolicy
+from repro.policies.sp_cache import SPCachePolicy
+
+__all__ = [
+    "CachePolicy",
+    "ECCachePolicy",
+    "FixedChunkingPolicy",
+    "SPCachePolicy",
+    "SelectiveReplicationPolicy",
+    "SimplePartitionPolicy",
+    "SingleCopyPolicy",
+]

@@ -1,0 +1,61 @@
+"""Fixed-size chunking — the HDFS/Azure/Alluxio convention (Secs. 4.3, 7.3).
+
+Files are cut into chunks of a constant byte size regardless of
+popularity: ``k_i = ceil(S_i / chunk_size)``, clamped to the cluster size
+so chunks still land on distinct servers.  Small chunks balance load but
+multiply connections (goodput loss, stragglers); large chunks degenerate to
+single-copy caching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.client import WriteOp
+from repro.common import ClusterSpec, FilePopulation
+from repro.policies.base import CachePolicy
+
+__all__ = ["FixedChunkingPolicy"]
+
+
+class FixedChunkingPolicy(CachePolicy):
+    """Constant chunk size for every file."""
+
+    name = "fixed-chunking"
+
+    def __init__(
+        self,
+        population: FilePopulation,
+        cluster: ClusterSpec,
+        chunk_size: float,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = float(chunk_size)
+        super().__init__(population, cluster, seed=seed)
+
+    def _build_layout(self) -> None:
+        counts = np.minimum(
+            np.ceil(self.population.sizes / self.chunk_size).astype(np.int64),
+            self.cluster.n_servers,
+        )
+        counts = np.maximum(counts, 1)
+        self.counts = counts
+        self.servers_of = self._place_random(counts)
+        self.piece_sizes = [
+            np.full(int(k), size / k)
+            for k, size in zip(counts, self.population.sizes)
+        ]
+
+    def plan_write(self, file_id: int) -> WriteOp:
+        """Writes open one connection per *chunk*, not per server.
+
+        Reads clamp the fan-out to distinct servers, but a write really
+        ships ``ceil(S / chunk_size)`` chunks (several may land on the same
+        server) — the connection cost Fig. 22 charges fixed-size chunking
+        for on large files.
+        """
+        size = float(self.population.sizes[file_id])
+        n_chunks = max(int(np.ceil(size / self.chunk_size)), 1)
+        return WriteOp(sizes=np.full(n_chunks, size / n_chunks))

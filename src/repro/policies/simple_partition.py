@@ -1,0 +1,43 @@
+"""Simple (uniform) partition — the Sec. 4 strawman.
+
+Every file, hot or cold, is split into the same ``k`` partitions on
+distinct random servers.  It shares SP-Cache's redundancy-freeness but
+wastes fan-out on cold files, which is what Fig. 5's straggler curve and
+the goodput loss punish.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import ClusterSpec, FilePopulation
+from repro.policies.base import CachePolicy
+
+__all__ = ["SimplePartitionPolicy"]
+
+
+class SimplePartitionPolicy(CachePolicy):
+    """Uniform ``k`` partitions for every file (EC-Cache's (k, k) mode)."""
+
+    name = "simple-partition"
+
+    def __init__(
+        self,
+        population: FilePopulation,
+        cluster: ClusterSpec,
+        k: int = 9,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > cluster.n_servers:
+            raise ValueError("k may not exceed the server count")
+        self.k = k
+        super().__init__(population, cluster, seed=seed)
+
+    def _build_layout(self) -> None:
+        counts = np.full(self.population.n_files, self.k, dtype=np.int64)
+        self.servers_of = self._place_random(counts)
+        self.piece_sizes = [
+            np.full(self.k, size / self.k) for size in self.population.sizes
+        ]

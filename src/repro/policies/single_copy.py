@@ -1,0 +1,37 @@
+"""Single-copy caching — stock Alluxio, and the disk baseline of Fig. 2.
+
+One unsplit copy per file on a random server.  With memory-speed
+bandwidth this is the "W/ caching, no balancing" configuration whose hot
+spots motivate the paper; pointing the cluster spec at disk-class
+bandwidth instead reproduces the "W/o caching" curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import ClusterSpec, FilePopulation
+from repro.policies.base import CachePolicy
+
+__all__ = ["SingleCopyPolicy"]
+
+
+class SingleCopyPolicy(CachePolicy):
+    """One whole-file copy on one random server."""
+
+    name = "single-copy"
+
+    def __init__(
+        self,
+        population: FilePopulation,
+        cluster: ClusterSpec,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(population, cluster, seed=seed)
+
+    def _build_layout(self) -> None:
+        counts = np.ones(self.population.n_files, dtype=np.int64)
+        self.servers_of = self._place_random(counts)
+        self.piece_sizes = [
+            np.array([float(size)]) for size in self.population.sizes
+        ]

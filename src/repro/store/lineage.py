@@ -1,0 +1,87 @@
+"""Lineage-based recovery (the Alluxio mechanism SP-Cache leans on, Sec. 8).
+
+SP-Cache itself is redundancy-free, so a lost partition cannot be rebuilt
+from cache contents.  Alluxio's answer, which we reproduce: files are
+periodically checkpointed to the under-store, and files not yet persisted
+carry a *lineage* record — which parent files and which deterministic
+transformation produced them — so they can be recomputed on loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["LineageRecord", "LineageGraph"]
+
+
+@dataclass(frozen=True)
+class LineageRecord:
+    """How to recompute one file from its parents."""
+
+    file_id: int
+    parents: tuple[int, ...]
+    recompute: Callable[[list[bytes]], bytes]
+
+
+class LineageGraph:
+    """A DAG of lineage records with recursive recovery."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, LineageRecord] = {}
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._records
+
+    def register(
+        self,
+        file_id: int,
+        parents: tuple[int, ...],
+        recompute: Callable[[list[bytes]], bytes],
+    ) -> None:
+        """Record a file's derivation.  Cycles are rejected."""
+        if file_id in parents:
+            raise ValueError("a file cannot be its own parent")
+        self._records[file_id] = LineageRecord(file_id, tuple(parents), recompute)
+        if self._has_cycle(file_id):
+            del self._records[file_id]
+            raise ValueError(f"lineage for file {file_id} would create a cycle")
+
+    def _has_cycle(self, start: int) -> bool:
+        seen: set[int] = set()
+        stack = [start]
+        first = True
+        while stack:
+            node = stack.pop()
+            if node == start and not first:
+                return True
+            first = False
+            if node in seen:
+                continue
+            seen.add(node)
+            rec = self._records.get(node)
+            if rec:
+                stack.extend(rec.parents)
+        return False
+
+    def recover(
+        self, file_id: int, read_source: Callable[[int], bytes | None]
+    ) -> bytes:
+        """Recompute ``file_id`` bottom-up.
+
+        ``read_source(fid)`` should return the bytes of ``fid`` if they are
+        available from cache or the under-store, else ``None``; unavailable
+        parents are recovered recursively through their own lineage.
+        Raises ``KeyError`` when a needed file has neither source bytes nor
+        lineage.
+        """
+        available = read_source(file_id)
+        if available is not None:
+            return available
+        rec = self._records.get(file_id)
+        if rec is None:
+            raise KeyError(
+                f"file {file_id} is lost: not persisted and has no lineage"
+            )
+        parent_bytes = [self.recover(p, read_source) for p in rec.parents]
+        return rec.recompute(parent_bytes)

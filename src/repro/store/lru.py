@@ -1,0 +1,108 @@
+"""Byte-budgeted LRU cache used at both granularities.
+
+Two consumers: the cluster simulator tracks file-granularity residency under
+a throttled cluster-wide budget (Secs. 7.6/7.7 assume file-level LRU
+replacement), and the store's workers track partition blocks.  Both need the
+same structure — an access-ordered map whose entries carry a byte size and
+whose insertions evict from the cold end until the budget holds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterator
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """LRU over hashable keys with byte-sized entries.
+
+    ``capacity`` is the byte budget.  Items larger than the whole budget are
+    rejected by :meth:`put` (returning the would-be evictions is meaningless
+    when the item itself cannot fit).
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        on_evict: Callable[[Hashable, float], None] | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self._sizes: OrderedDict[Hashable, float] = OrderedDict()
+        self._used = 0.0
+        self._on_evict = on_evict
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._sizes
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Keys from coldest (LRU) to hottest (MRU)."""
+        return iter(self._sizes)
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity - self._used
+
+    def size_of(self, key: Hashable) -> float:
+        return self._sizes[key]
+
+    def touch(self, key: Hashable) -> bool:
+        """Record an access: returns True on hit (and refreshes recency)."""
+        if key in self._sizes:
+            self._sizes.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def put(self, key: Hashable, size: float) -> list[Hashable]:
+        """Insert/refresh ``key`` with byte ``size``; return evicted keys.
+
+        Re-inserting an existing key updates its size and recency.  Raises
+        ``ValueError`` if the item alone exceeds the budget.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size > self.capacity:
+            raise ValueError(
+                f"item of {size} bytes exceeds cache capacity {self.capacity}"
+            )
+        if key in self._sizes:
+            self._used -= self._sizes.pop(key)
+        evicted: list[Hashable] = []
+        while self._used + size > self.capacity and self._sizes:
+            old_key, old_size = self._sizes.popitem(last=False)
+            self._used -= old_size
+            self.evictions += 1
+            evicted.append(old_key)
+            if self._on_evict is not None:
+                self._on_evict(old_key, old_size)
+        self._sizes[key] = float(size)
+        self._used += size
+        return evicted
+
+    def remove(self, key: Hashable) -> float:
+        """Drop ``key`` (no eviction callback); returns its size."""
+        size = self._sizes.pop(key)
+        self._used -= size
+        return size
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0

@@ -1,0 +1,187 @@
+"""The SP-Master: file metadata, popularity tracking, placement bookkeeping.
+
+Per Sec. 6.4, the master stores, per file, the partition count ``k_i`` and
+the list of servers holding each partition; it also counts accesses so the
+periodic repartition can recompute popularities (reads update the counter,
+Sec. 6.1).  Placement helpers implement both strategies the paper uses:
+random distinct servers (initial writes, Sec. 5.1) and greedy least-loaded
+(repartition, Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import make_rng
+
+__all__ = ["PartitionLocation", "FileMeta", "Master"]
+
+
+@dataclass(frozen=True)
+class PartitionLocation:
+    """Where one partition lives: worker id + block index within the file."""
+
+    worker_id: int
+    index: int
+
+
+@dataclass
+class FileMeta:
+    """Master-side metadata for one cached file."""
+
+    file_id: int
+    size: int  # bytes of the original file
+    locations: list[PartitionLocation] = field(default_factory=list)
+    access_count: int = 0
+    # Erasure-coding parameters if the file is EC-cached (EC-Cache baseline):
+    ec_k: int | None = None
+    ec_n: int | None = None
+    # Replica groups if the file is replicated: each inner list holds the
+    # locations of one complete copy.
+    replica_groups: list[list[PartitionLocation]] | None = None
+
+    @property
+    def k(self) -> int:
+        """Partition count (data partitions only for EC files)."""
+        if self.ec_k is not None:
+            return self.ec_k
+        if self.replica_groups:
+            return len(self.replica_groups[0])
+        return len(self.locations)
+
+    @property
+    def worker_ids(self) -> list[int]:
+        return [loc.worker_id for loc in self.locations]
+
+
+class Master:
+    """Metadata service for the byte-level store."""
+
+    def __init__(self, n_workers: int, seed: int | None = 0) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers
+        self._files: dict[int, FileMeta] = {}
+        self._rng = make_rng(seed)
+        # Bytes of partitions placed per worker — the "load" Algorithm 2's
+        # greedy placement balances.
+        self.placed_bytes = np.zeros(n_workers)
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._files
+
+    @property
+    def n_files(self) -> int:
+        return len(self._files)
+
+    def meta(self, file_id: int) -> FileMeta:
+        return self._files[file_id]
+
+    def files(self) -> list[FileMeta]:
+        return list(self._files.values())
+
+    # -- placement ---------------------------------------------------------
+
+    def choose_random_workers(self, k: int) -> list[int]:
+        """``k`` distinct random workers (initial placement, Sec. 5.1)."""
+        if k > self.n_workers:
+            raise ValueError(
+                f"cannot place {k} partitions on {self.n_workers} workers "
+                "without co-locating"
+            )
+        return list(self._rng.choice(self.n_workers, size=k, replace=False))
+
+    def choose_least_loaded_workers(self, k: int) -> list[int]:
+        """``k`` distinct least-loaded workers (Algorithm 2's greedy rule)."""
+        if k > self.n_workers:
+            raise ValueError(
+                f"cannot place {k} partitions on {self.n_workers} workers"
+            )
+        return list(np.argsort(self.placed_bytes, kind="stable")[:k])
+
+    # -- registration ------------------------------------------------------
+
+    def register_file(
+        self,
+        file_id: int,
+        size: int,
+        locations: list[PartitionLocation],
+        ec_k: int | None = None,
+        ec_n: int | None = None,
+        replica_groups: list[list[PartitionLocation]] | None = None,
+    ) -> FileMeta:
+        """Record a newly written file and account its placed bytes."""
+        if file_id in self._files:
+            raise ValueError(f"file {file_id} already registered")
+        meta = FileMeta(
+            file_id=file_id,
+            size=size,
+            locations=list(locations),
+            ec_k=ec_k,
+            ec_n=ec_n,
+            replica_groups=replica_groups,
+        )
+        self._files[file_id] = meta
+        per_loc = size / max(len(locations), 1)
+        if replica_groups:
+            per_loc = size / max(len(replica_groups[0]), 1)
+        for loc in meta.locations:
+            self.placed_bytes[loc.worker_id] += per_loc
+        return meta
+
+    def unregister_file(self, file_id: int) -> FileMeta:
+        meta = self._files.pop(file_id)
+        per_loc = meta.size / max(len(meta.locations), 1)
+        if meta.replica_groups:
+            per_loc = meta.size / max(len(meta.replica_groups[0]), 1)
+        for loc in meta.locations:
+            self.placed_bytes[loc.worker_id] -= per_loc
+        return meta
+
+    def relocate_file(
+        self, file_id: int, locations: list[PartitionLocation]
+    ) -> FileMeta:
+        """Replace a file's partition layout (repartition path).
+
+        The access-count window survives the move — repartitioning a file
+        must not erase the popularity evidence that triggered it.
+        """
+        meta = self.unregister_file(file_id)
+        new_meta = self.register_file(
+            file_id,
+            meta.size,
+            locations,
+            ec_k=meta.ec_k,
+            ec_n=meta.ec_n,
+            replica_groups=meta.replica_groups,
+        )
+        new_meta.access_count = meta.access_count
+        return new_meta
+
+    # -- popularity --------------------------------------------------------
+
+    def record_access(self, file_id: int) -> None:
+        """Bump the access counter (done on every read, Sec. 6.1)."""
+        self._files[file_id].access_count += 1
+
+    def reset_access_counts(self) -> None:
+        """Start a new measurement window (after each repartition round)."""
+        for meta in self._files.values():
+            meta.access_count = 0
+
+    def popularity_snapshot(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(file_ids, sizes, popularities) from the access-count window.
+
+        Files never accessed in the window share the residual minimum mass
+        (one virtual access each) so that popularities stay a valid
+        probability vector for the scale-factor search.
+        """
+        ids = np.array(sorted(self._files), dtype=np.int64)
+        sizes = np.array([self._files[i].size for i in ids], dtype=np.float64)
+        counts = np.array(
+            [self._files[i].access_count for i in ids], dtype=np.float64
+        )
+        counts = np.maximum(counts, 1.0)
+        return ids, sizes, counts / counts.sum()

@@ -1,0 +1,248 @@
+"""The SP-Client: byte-level read/write/repartition against the store.
+
+Implements the data plane of Fig. 9a for all caching schemes so functional
+tests can round-trip real bytes:
+
+* plain partitioning (SP-Cache and the partitioning baselines): split into
+  ``k`` contiguous partitions on ``k`` distinct workers, reassemble on read;
+* erasure coding (EC-Cache): (k, n) Reed-Solomon shards with late binding —
+  the client asks ``k + 1`` random shards and decodes from the first ``k``
+  that answer;
+* selective replication: whole-file copies in distinct replica groups, one
+  picked uniformly per read.
+
+Reads record accesses at the master (popularity tracking, Sec. 6.1) and
+fall back to the under-store, then lineage recomputation, when blocks were
+evicted or a worker crashed (Sec. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import make_rng
+from repro.ec.codec import RSFileCodec, split_bytes, unsplit_bytes
+from repro.store.lineage import LineageGraph
+from repro.store.master import FileMeta, Master, PartitionLocation
+from repro.store.under_store import UnderStore
+from repro.store.worker import Worker
+
+__all__ = ["StoreClient"]
+
+
+class StoreClient:
+    """Client facade over a master, its workers, and the under-store."""
+
+    def __init__(
+        self,
+        master: Master,
+        workers: list[Worker],
+        under_store: UnderStore | None = None,
+        lineage: LineageGraph | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if len(workers) != master.n_workers:
+            raise ValueError("one Worker per master slot required")
+        self.master = master
+        self.workers = workers
+        self.under_store = under_store or UnderStore()
+        self.lineage = lineage or LineageGraph()
+        self._rng = make_rng(seed)
+        self._ec_meta: dict[int, tuple[RSFileCodec, int]] = {}  # codec, orig_len
+        self.recoveries = 0
+
+    # -- writes ------------------------------------------------------------
+
+    def write(
+        self,
+        file_id: int,
+        data: bytes,
+        k: int = 1,
+        placement: str = "random",
+    ) -> FileMeta:
+        """Plain-partition write: ``k`` contiguous partitions, no parity."""
+        worker_ids = self._choose(k, placement)
+        parts = split_bytes(data, k)
+        locations = []
+        for index, (wid, part) in enumerate(zip(worker_ids, parts)):
+            self.workers[wid].put_block(file_id, index, part)
+            locations.append(PartitionLocation(worker_id=wid, index=index))
+        return self.master.register_file(file_id, len(data), locations)
+
+    def write_ec(
+        self, file_id: int, data: bytes, k: int = 10, n: int = 14
+    ) -> FileMeta:
+        """Erasure-coded write: ``n`` Reed-Solomon shards on ``n`` workers."""
+        codec = RSFileCodec(k=k, n=n)
+        shards, orig_len = codec.encode_file(data)
+        worker_ids = self._choose(n, "random")
+        locations = []
+        for index, (wid, shard) in enumerate(zip(worker_ids, shards)):
+            self.workers[wid].put_block(file_id, index, shard)
+            locations.append(PartitionLocation(worker_id=wid, index=index))
+        self._ec_meta[file_id] = (codec, orig_len)
+        return self.master.register_file(
+            file_id, len(data), locations, ec_k=k, ec_n=n
+        )
+
+    def write_replicated(
+        self, file_id: int, data: bytes, replicas: int = 1
+    ) -> FileMeta:
+        """Whole-file copies: ``replicas`` groups on distinct workers each."""
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        groups: list[list[PartitionLocation]] = []
+        flat: list[PartitionLocation] = []
+        for r in range(replicas):
+            wid = self._choose(1, "random")[0]
+            self.workers[wid].put_block(file_id, r, data)
+            loc = PartitionLocation(worker_id=wid, index=r)
+            groups.append([loc])
+            flat.append(loc)
+        return self.master.register_file(
+            file_id, len(data), flat, replica_groups=groups
+        )
+
+    # -- reads -------------------------------------------------------------
+
+    def read(self, file_id: int) -> bytes:
+        """Read a file through whichever scheme wrote it."""
+        meta = self.master.meta(file_id)
+        self.master.record_access(file_id)
+        if meta.ec_k is not None:
+            return self._read_ec(meta)
+        if meta.replica_groups:
+            return self._read_replicated(meta)
+        return self._read_partitioned(meta)
+
+    def _read_partitioned(self, meta: FileMeta) -> bytes:
+        parts: list[bytes] = []
+        for loc in sorted(meta.locations, key=lambda l: l.index):
+            try:
+                parts.append(
+                    self.workers[loc.worker_id].get_block(meta.file_id, loc.index)
+                )
+            except KeyError:
+                return self._recover(meta)
+        return unsplit_bytes(parts)
+
+    def _read_ec(self, meta: FileMeta) -> bytes:
+        codec, orig_len = self._ec_meta[meta.file_id]
+        k = codec.k
+        # Late binding: request k + 1 random shards, decode from the first k
+        # that actually answer; pull further shards only if too many failed.
+        order = self._rng.permutation(len(meta.locations))
+        ids: list[int] = []
+        shards: list[bytes] = []
+        want = min(k + 1, len(order))
+        for pos in order:
+            loc = meta.locations[pos]
+            try:
+                shard = self.workers[loc.worker_id].get_block(
+                    meta.file_id, loc.index
+                )
+            except KeyError:
+                continue
+            ids.append(loc.index)
+            shards.append(shard)
+            if len(ids) >= want and len(ids) >= k:
+                break
+        if len(ids) < k:
+            return self._recover(meta)
+        return codec.decode_file(ids[:k], shards[:k], orig_len)
+
+    def _read_replicated(self, meta: FileMeta) -> bytes:
+        assert meta.replica_groups
+        start = int(self._rng.integers(len(meta.replica_groups)))
+        n_groups = len(meta.replica_groups)
+        for offset in range(n_groups):
+            group = meta.replica_groups[(start + offset) % n_groups]
+            loc = group[0]
+            try:
+                return self.workers[loc.worker_id].get_block(
+                    meta.file_id, loc.index
+                )
+            except KeyError:
+                continue
+        return self._recover(meta)
+
+    # -- recovery (Sec. 8) ---------------------------------------------------
+
+    def _recover(self, meta: FileMeta) -> bytes:
+        """Rebuild a file whose cached blocks are gone.
+
+        Order follows Alluxio: persisted copy first, lineage recomputation
+        second.  The recovered bytes are re-cached under the file's original
+        layout so subsequent reads hit memory again.
+        """
+        self.recoveries += 1
+
+        def read_source(fid: int) -> bytes | None:
+            if self.under_store.is_persisted(fid):
+                return self.under_store.read(fid)
+            if fid != meta.file_id and fid in self.master:
+                try:
+                    return self.read(fid)
+                except KeyError:
+                    return None
+            return None
+
+        data = self.lineage.recover(meta.file_id, read_source)
+        self._recache(meta, data)
+        return data
+
+    def _recache(self, meta: FileMeta, data: bytes) -> None:
+        if meta.ec_k is not None:
+            codec, _ = self._ec_meta[meta.file_id]
+            shards, _ = codec.encode_file(data)
+            for loc in meta.locations:
+                self.workers[loc.worker_id].put_block(
+                    meta.file_id, loc.index, shards[loc.index]
+                )
+        elif meta.replica_groups:
+            for group in meta.replica_groups:
+                for loc in group:
+                    self.workers[loc.worker_id].put_block(
+                        meta.file_id, loc.index, data
+                    )
+        else:
+            parts = split_bytes(data, len(meta.locations))
+            for loc in meta.locations:
+                self.workers[loc.worker_id].put_block(
+                    meta.file_id, loc.index, parts[loc.index]
+                )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def checkpoint(self, file_id: int) -> None:
+        """Persist the current file contents to the under-store."""
+        self.under_store.checkpoint(file_id, self.read(file_id))
+
+    def repartition(
+        self, file_id: int, new_k: int, placement: str = "least_loaded"
+    ) -> FileMeta:
+        """Reassemble a plain-partitioned file and re-split it to ``new_k``.
+
+        The data-plane half of Algorithm 2: an SP-Repartitioner collects the
+        partitions, re-splits, and redistributes onto the chosen workers.
+        """
+        meta = self.master.meta(file_id)
+        if meta.ec_k is not None or meta.replica_groups:
+            raise ValueError("repartition applies to plain-partitioned files")
+        data = self._read_partitioned(meta)
+        for loc in meta.locations:
+            self.workers[loc.worker_id].delete_block(file_id, loc.index)
+        worker_ids = self._choose(new_k, placement)
+        parts = split_bytes(data, new_k)
+        locations = []
+        for index, (wid, part) in enumerate(zip(worker_ids, parts)):
+            self.workers[wid].put_block(file_id, index, part)
+            locations.append(PartitionLocation(worker_id=wid, index=index))
+        return self.master.relocate_file(file_id, locations)
+
+    def _choose(self, k: int, placement: str) -> list[int]:
+        if placement == "random":
+            return self.master.choose_random_workers(k)
+        if placement == "least_loaded":
+            return self.master.choose_least_loaded_workers(k)
+        raise ValueError(f"unknown placement strategy: {placement!r}")

@@ -1,0 +1,43 @@
+"""Durable backing store (the paper's S3/HDFS layer under Alluxio).
+
+Sec. 8: SP-Cache relies on the under-store plus Alluxio's checkpointing for
+fault tolerance — lost cache data is re-read from persisted copies, and
+never-persisted files are recomputed via lineage.  This in-process stand-in
+keeps persisted bytes in a dict and exposes the checkpoint/read interface
+the store client and lineage recovery need.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnderStore"]
+
+
+class UnderStore:
+    """A durable key-value byte store with simple checkpoint bookkeeping."""
+
+    def __init__(self) -> None:
+        self._data: dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def checkpoint(self, file_id: int, data: bytes) -> None:
+        """Persist a file (idempotent overwrite)."""
+        self._data[file_id] = bytes(data)
+        self.writes += 1
+
+    def read(self, file_id: int) -> bytes:
+        """Read a persisted file; raises ``KeyError`` if never checkpointed."""
+        self.reads += 1
+        return self._data[file_id]
+
+    def is_persisted(self, file_id: int) -> bool:
+        return file_id in self._data
+
+    def delete(self, file_id: int) -> None:
+        del self._data[file_id]

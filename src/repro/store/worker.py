@@ -1,0 +1,84 @@
+"""A cache server's data plane: capacity-bounded in-memory block store.
+
+Blocks are keyed by ``(file_id, partition_index)``.  Eviction is LRU at
+block granularity; the master is responsible for noticing dangling metadata
+after evictions (mirroring Alluxio, where workers evict autonomously and
+the master learns via heartbeats).
+"""
+
+from __future__ import annotations
+
+from repro.store.lru import LRUCache
+
+__all__ = ["Worker"]
+
+BlockKey = tuple[int, int]
+
+
+class Worker:
+    """One cache server holding partition blocks in memory."""
+
+    def __init__(self, worker_id: int, capacity: float = float("inf")) -> None:
+        self.worker_id = worker_id
+        self._blocks: dict[BlockKey, bytes] = {}
+        self._lru: LRUCache | None = None
+        if capacity != float("inf"):
+            self._lru = LRUCache(capacity, on_evict=self._drop)
+        self.capacity = capacity
+        self.bytes_served = 0
+        self.evicted_blocks: list[BlockKey] = []
+
+    def _drop(self, key: BlockKey, _size: float) -> None:
+        self._blocks.pop(key, None)
+        self.evicted_blocks.append(key)
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._blocks
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def used_bytes(self) -> float:
+        if self._lru is not None:
+            return self._lru.used_bytes
+        return float(sum(len(b) for b in self._blocks.values()))
+
+    def put_block(self, file_id: int, index: int, data: bytes) -> list[BlockKey]:
+        """Store a block; returns keys evicted to make room."""
+        key = (file_id, index)
+        self._blocks[key] = bytes(data)
+        if self._lru is not None:
+            before = len(self.evicted_blocks)
+            self._lru.put(key, len(data))
+            return self.evicted_blocks[before:]
+        return []
+
+    def get_block(self, file_id: int, index: int) -> bytes:
+        """Fetch a block; raises ``KeyError`` when absent (evicted/lost)."""
+        key = (file_id, index)
+        data = self._blocks[key]
+        if self._lru is not None:
+            self._lru.touch(key)
+        self.bytes_served += len(data)
+        return data
+
+    def delete_block(self, file_id: int, index: int) -> None:
+        key = (file_id, index)
+        self._blocks.pop(key, None)
+        if self._lru is not None and key in self._lru:
+            self._lru.remove(key)
+
+    def delete_file(self, file_id: int) -> int:
+        """Drop every block of ``file_id``; returns how many were dropped."""
+        keys = [k for k in self._blocks if k[0] == file_id]
+        for k in keys:
+            self.delete_block(*k)
+        return len(keys)
+
+    def crash(self) -> None:
+        """Lose all in-memory state (worker failure in the Sec. 8 scenario)."""
+        self._blocks.clear()
+        if self._lru is not None:
+            self._lru = LRUCache(self.capacity, on_evict=self._drop)

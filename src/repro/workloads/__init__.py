@@ -1,0 +1,55 @@
+"""Workload synthesis: popularity skew, trace-fitted distributions, arrivals.
+
+The paper evaluates on three proprietary data sets we cannot obtain — the
+Yahoo! Webscope file-access trace (Fig. 1), the Google cluster job-submission
+trace (Sec. 7.7 arrivals), and the Microsoft Bing/Mantri straggler profile
+(Secs. 4.2, 7.5).  Each module here synthesizes an equivalent generator
+fitted to the statistics the paper reports; see ``DESIGN.md`` for the
+substitution rationale.
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalTrace,
+    merge_traces,
+    poisson_arrivals,
+    poisson_trace,
+    sample_file_choices,
+    trace_from_times,
+)
+from repro.workloads.bing import BingStragglerProfile
+from repro.workloads.filesets import paper_fileset, replication_counts_topk
+from repro.workloads.google import GoogleArrivalModel
+from repro.workloads.io import (
+    load_population,
+    load_trace,
+    save_population,
+    save_trace,
+)
+from repro.workloads.popularity import shuffled_popularity, zipf_popularity
+from repro.workloads.yahoo import (
+    YahooTraceModel,
+    access_count_buckets,
+    yahoo_file_population,
+)
+
+__all__ = [
+    "ArrivalTrace",
+    "BingStragglerProfile",
+    "GoogleArrivalModel",
+    "YahooTraceModel",
+    "access_count_buckets",
+    "load_population",
+    "load_trace",
+    "merge_traces",
+    "save_population",
+    "save_trace",
+    "paper_fileset",
+    "poisson_arrivals",
+    "poisson_trace",
+    "replication_counts_topk",
+    "sample_file_choices",
+    "shuffled_popularity",
+    "trace_from_times",
+    "yahoo_file_population",
+    "zipf_popularity",
+]

@@ -1,0 +1,99 @@
+"""Persistence for workloads and traces.
+
+Experiments become citable when their exact inputs can be archived.  This
+module round-trips :class:`~repro.common.FilePopulation` and
+:class:`~repro.workloads.arrivals.ArrivalTrace` through NumPy's ``.npz``
+container (compact, dependency-free) and exports traces to CSV for
+inspection with external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from repro.common import FilePopulation
+from repro.workloads.arrivals import ArrivalTrace
+
+__all__ = [
+    "save_population",
+    "load_population",
+    "save_trace",
+    "load_trace",
+    "trace_to_csv",
+    "trace_from_csv",
+]
+
+_POP_MAGIC = "repro-population-v1"
+_TRACE_MAGIC = "repro-trace-v1"
+
+
+def save_population(path: str | pathlib.Path, population: FilePopulation) -> None:
+    """Write a population to ``<path>`` (.npz)."""
+    np.savez_compressed(
+        path,
+        magic=np.array(_POP_MAGIC),
+        sizes=population.sizes,
+        popularities=population.popularities,
+        total_rate=np.array(population.total_rate),
+    )
+
+
+def load_population(path: str | pathlib.Path) -> FilePopulation:
+    """Read a population written by :func:`save_population`."""
+    with np.load(path, allow_pickle=False) as data:
+        if str(data["magic"]) != _POP_MAGIC:
+            raise ValueError(f"{path} is not a saved population")
+        return FilePopulation(
+            sizes=data["sizes"],
+            popularities=data["popularities"],
+            total_rate=float(data["total_rate"]),
+        )
+
+
+def save_trace(path: str | pathlib.Path, trace: ArrivalTrace) -> None:
+    """Write a trace to ``<path>`` (.npz)."""
+    np.savez_compressed(
+        path,
+        magic=np.array(_TRACE_MAGIC),
+        times=trace.times,
+        file_ids=trace.file_ids,
+    )
+
+
+def load_trace(path: str | pathlib.Path) -> ArrivalTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        if str(data["magic"]) != _TRACE_MAGIC:
+            raise ValueError(f"{path} is not a saved trace")
+        return ArrivalTrace(times=data["times"], file_ids=data["file_ids"])
+
+
+def trace_to_csv(path: str | pathlib.Path, trace: ArrivalTrace) -> None:
+    """Export ``time,file_id`` rows (header included)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "file_id"])
+        for t, fid in zip(trace.times, trace.file_ids):
+            writer.writerow([f"{t:.9f}", int(fid)])
+
+
+def trace_from_csv(path: str | pathlib.Path) -> ArrivalTrace:
+    """Import a trace exported by :func:`trace_to_csv` (or any CSV with a
+    ``time_s,file_id`` header)."""
+    times: list[float] = []
+    file_ids: list[int] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or "time_s" not in reader.fieldnames:
+            raise ValueError(f"{path} lacks a time_s column")
+        for row in reader:
+            times.append(float(row["time_s"]))
+            file_ids.append(int(row["file_id"]))
+    order = np.argsort(times, kind="stable")
+    return ArrivalTrace(
+        times=np.asarray(times)[order],
+        file_ids=np.asarray(file_ids, dtype=np.int64)[order],
+    )

@@ -1,0 +1,59 @@
+"""Skewed file-popularity vectors.
+
+The paper configures file popularity as a Zipf distribution with exponent
+1.05 (EC2 experiments, Sec. 7.1) or 1.1 (motivating experiments in Sec. 2.2
+and the trace-driven simulation in Sec. 7.7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import make_rng
+
+__all__ = ["zipf_popularity", "shuffled_popularity", "zipf_exponent_fit"]
+
+
+def zipf_popularity(n_files: int, exponent: float = 1.05) -> np.ndarray:
+    """Zipf(``exponent``) popularity over ``n_files`` ranks.
+
+    ``P_i ∝ (i+1)^-exponent`` for rank ``i`` starting at 0; normalized to
+    sum to 1.  Rank 0 is the hottest file.
+    """
+    if n_files <= 0:
+        raise ValueError("n_files must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, n_files + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def shuffled_popularity(
+    popularities: np.ndarray, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Randomly permute popularity ranks across files.
+
+    Models the popularity *shift* used in Sec. 7.4: the marginal distribution
+    (same Zipf) is preserved but which file holds which rank changes, which
+    is a more drastic shift than production traces exhibit.
+    """
+    rng = make_rng(seed)
+    popularities = np.asarray(popularities, dtype=np.float64)
+    return rng.permutation(popularities)
+
+
+def zipf_exponent_fit(popularities: np.ndarray) -> float:
+    """Least-squares fit of the Zipf exponent from a popularity vector.
+
+    Used by tests to confirm generators produce the intended skew.  Fits
+    ``log P_i = c - s * log rank`` over the sorted (descending) vector and
+    returns ``s``.
+    """
+    p = np.sort(np.asarray(popularities, dtype=np.float64))[::-1]
+    p = p[p > 0]
+    if p.size < 2:
+        raise ValueError("need at least two positive popularities to fit")
+    ranks = np.arange(1, p.size + 1, dtype=np.float64)
+    slope, _ = np.polyfit(np.log(ranks), np.log(p), 1)
+    return float(-slope)

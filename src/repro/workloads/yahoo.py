@@ -1,0 +1,163 @@
+"""Synthetic stand-in for the Yahoo! Webscope file-access trace (Fig. 1).
+
+The real trace (40M files over two months) is not publicly redistributable,
+so we fit a generator to the statistics the paper reports:
+
+* ~78 % of files are *cold*: accessed fewer than 10 times;
+* ~2 % of files are *hot*: accessed at least 100 times, with a heavy tail;
+* hot files are 15–30x larger than cold ones on average;
+* ~27 % of files stay hot for more than a week (used qualitatively to justify
+  12-hour repartition periods — we expose a ``stable_hot_fraction`` knob).
+
+The generator produces joint (access-count, size) samples whose bucketed
+marginals reproduce Fig. 1's shape, plus a :func:`yahoo_file_population`
+helper implementing Sec. 7.7's workload rule "a larger file is more popular
+than a smaller one".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import MB, FilePopulation, make_rng
+from repro.workloads.popularity import zipf_popularity
+
+__all__ = ["YahooTraceModel", "access_count_buckets", "yahoo_file_population"]
+
+
+@dataclass(frozen=True)
+class YahooTraceModel:
+    """Parametric model of the Yahoo! trace's access-count/size joint law.
+
+    Files fall into three tiers (cold/warm/hot) with the paper's reported
+    proportions.  Access counts are drawn per-tier (geometric for cold,
+    log-uniform for warm, Pareto for hot) and sizes are lognormal with a
+    tier-dependent scale so the hot:cold mean-size ratio lands in the
+    paper's 15–30x band.
+    """
+
+    cold_fraction: float = 0.78
+    hot_fraction: float = 0.02
+    cold_mean_size: float = 16 * MB
+    hot_size_ratio: float = 22.0  # hot mean size / cold mean size
+    warm_size_ratio: float = 5.0
+    size_sigma: float = 0.6  # lognormal shape within each tier
+    hot_pareto_alpha: float = 1.5  # tail index of hot access counts
+    stable_hot_fraction: float = 0.27  # hot for >1 week (Sec. 6.2)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cold_fraction < 1:
+            raise ValueError("cold_fraction must be in (0, 1)")
+        if not 0 < self.hot_fraction < 1:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if self.cold_fraction + self.hot_fraction >= 1:
+            raise ValueError("cold_fraction + hot_fraction must be < 1")
+        if self.hot_size_ratio <= self.warm_size_ratio:
+            raise ValueError("hot files must be larger than warm files")
+
+    @property
+    def warm_fraction(self) -> float:
+        return 1.0 - self.cold_fraction - self.hot_fraction
+
+    def sample(
+        self, n_files: int, seed: int | np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``(access_counts, sizes)`` for ``n_files`` files.
+
+        Returns integer access counts (>= 1) and float sizes in bytes.
+        """
+        if n_files <= 0:
+            raise ValueError("n_files must be positive")
+        rng = make_rng(seed)
+        tiers = rng.choice(
+            3,
+            size=n_files,
+            p=[self.cold_fraction, self.warm_fraction, self.hot_fraction],
+        )
+        counts = np.empty(n_files, dtype=np.int64)
+        sizes = np.empty(n_files, dtype=np.float64)
+
+        cold = tiers == 0
+        warm = tiers == 1
+        hot = tiers == 2
+
+        # Cold: 1..9 accesses, geometric-ish decay.
+        counts[cold] = np.minimum(rng.geometric(0.4, size=int(cold.sum())), 9)
+        # Warm: log-uniform on [10, 100).
+        counts[warm] = np.floor(
+            10 ** rng.uniform(1.0, 2.0, size=int(warm.sum()))
+        ).astype(np.int64)
+        counts[warm] = np.clip(counts[warm], 10, 99)
+        # Hot: Pareto tail starting at 100.
+        counts[hot] = np.floor(
+            100 * (1 + rng.pareto(self.hot_pareto_alpha, size=int(hot.sum())))
+        ).astype(np.int64)
+
+        scales = np.select(
+            [cold, warm, hot],
+            [
+                self.cold_mean_size,
+                self.cold_mean_size * self.warm_size_ratio,
+                self.cold_mean_size * self.hot_size_ratio,
+            ],
+        )
+        # Lognormal with unit mean given sigma: exp(N(-sigma^2/2, sigma)).
+        shape = rng.lognormal(
+            mean=-0.5 * self.size_sigma**2, sigma=self.size_sigma, size=n_files
+        )
+        sizes[:] = scales * shape
+        return counts, sizes
+
+
+def access_count_buckets(
+    counts: np.ndarray,
+    sizes: np.ndarray,
+    edges: tuple[int, ...] = (1, 10, 100),
+) -> list[dict[str, float]]:
+    """Bucket files by access count; report fraction and mean size per bucket.
+
+    This is exactly the Fig. 1 aggregation: the blue bars are the file
+    fraction per access-count bucket, the orange line the mean size.
+    ``edges`` are inclusive lower bounds; the last bucket is open-ended.
+    """
+    counts = np.asarray(counts)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if counts.shape != sizes.shape:
+        raise ValueError("counts and sizes must align")
+    out: list[dict[str, float]] = []
+    bounds = list(edges) + [None]
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        mask = counts >= lo if hi is None else (counts >= lo) & (counts < hi)
+        frac = float(mask.mean()) if counts.size else 0.0
+        mean_size = float(sizes[mask].mean()) if mask.any() else 0.0
+        label = f">={lo}" if hi is None else f"[{lo},{hi})"
+        out.append({"bucket": label, "fraction": frac, "mean_size": mean_size})
+    return out
+
+
+def yahoo_file_population(
+    n_files: int,
+    total_rate: float,
+    zipf_exponent: float = 1.1,
+    model: YahooTraceModel | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> FilePopulation:
+    """Build the Sec. 7.7 trace-driven population.
+
+    Sizes follow the Yahoo! distribution; popularity follows Zipf with the
+    given exponent; and, per the paper, *"a larger file is more popular than
+    a smaller one"* — so the Zipf ranks are assigned in descending size
+    order.
+    """
+    model = model or YahooTraceModel()
+    rng = make_rng(seed)
+    _, sizes = model.sample(n_files, seed=rng)
+    pops_by_rank = zipf_popularity(n_files, zipf_exponent)
+    order = np.argsort(-sizes)  # largest file gets rank 0 (hottest)
+    popularities = np.empty(n_files, dtype=np.float64)
+    popularities[order] = pops_by_rank
+    return FilePopulation(
+        sizes=sizes, popularities=popularities, total_rate=total_rate
+    )

@@ -1,0 +1,39 @@
+"""Shared fixtures: small populations and clusters that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import MB, ClusterSpec, FilePopulation, Gbps
+from repro.workloads import paper_fileset, zipf_popularity
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    """10 servers, 1 Gbps, unbounded memory."""
+    return ClusterSpec(n_servers=10, bandwidth=Gbps)
+
+
+@pytest.fixture
+def paper_cluster() -> ClusterSpec:
+    """The paper's 30-server EC2 layout."""
+    return ClusterSpec(n_servers=30, bandwidth=Gbps)
+
+
+@pytest.fixture
+def small_population() -> FilePopulation:
+    """20 files x 10 MB, Zipf(1.05), 4 req/s."""
+    return paper_fileset(20, size_mb=10, zipf_exponent=1.05, total_rate=4.0)
+
+
+@pytest.fixture
+def skewed_population() -> FilePopulation:
+    """60 files with mixed sizes and heavy skew."""
+    rng = np.random.default_rng(7)
+    sizes = rng.uniform(1, 50, size=60) * MB
+    return FilePopulation(
+        sizes=sizes,
+        popularities=zipf_popularity(60, 1.1),
+        total_rate=6.0,
+    )

@@ -1,0 +1,67 @@
+"""Stats helpers and table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, cdf_points, percentile_summary
+from repro.analysis.tables import format_table, print_table
+
+
+def test_percentile_summary():
+    s = percentile_summary(np.arange(101, dtype=float))
+    assert s["p50"] == pytest.approx(50.0)
+    assert s["p95"] == pytest.approx(95.0)
+    with pytest.raises(ValueError):
+        percentile_summary(np.array([]))
+
+
+def test_bootstrap_ci_brackets_mean():
+    rng = np.random.default_rng(0)
+    sample = rng.normal(10.0, 2.0, 500)
+    lo, hi = bootstrap_ci(sample, seed=1)
+    assert lo < sample.mean() < hi
+    assert hi - lo < 1.0  # reasonably tight at n=500
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci(np.array([]))
+    with pytest.raises(ValueError):
+        bootstrap_ci(np.ones(5), confidence=1.5)
+
+
+def test_cdf_points_monotone():
+    xs, ps = cdf_points(np.random.default_rng(1).exponential(1.0, 400))
+    assert np.all(np.diff(xs) >= 0)
+    assert ps[0] == 0.0 and ps[-1] == 1.0
+
+
+def test_format_table_alignment():
+    rows = [
+        {"name": "sp", "mean": 0.5},
+        {"name": "ec-cache", "mean": 12.345678},
+    ]
+    text = format_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "sp" in lines[3] and "12.3" in lines[4]
+    # All data lines equally wide.
+    assert len(set(len(l) for l in lines[2:])) == 1
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="x")
+
+
+def test_format_number_styles():
+    rows = [{"v": 0.0001}, {"v": 0.0}, {"v": 123456.0}, {"v": 1.5}]
+    text = format_table(rows)
+    assert "0.0001" in text and "1.23e+05" in text and "1.5" in text
+
+
+def test_print_table_smoke(capsys):
+    print_table([{"a": 1}], title="hello")
+    out = capsys.readouterr().out
+    assert "hello" in out and "a" in out

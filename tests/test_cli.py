@@ -1,0 +1,58 @@
+"""CLI subcommands: argument plumbing and output shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+FAST = [
+    "--files", "30", "--size-mb", "20", "--rate", "5",
+    "--servers", "10", "--requests", "300",
+]
+
+
+def test_simulate_prints_summary(capsys):
+    assert main(["simulate", "--scheme", "sp", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "mean latency" in out and "sp-cache" in out
+
+
+def test_simulate_every_scheme(capsys):
+    for scheme in ("ec", "replication", "simple", "chunking", "single"):
+        assert main(["simulate", "--scheme", scheme, *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "single-copy" in out
+
+
+def test_compare_table(capsys):
+    assert main(["compare", "--schemes", "sp,ec", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "sp-cache" in out and "ec-cache" in out
+    assert "mem_overhead_pct" in out
+
+
+def test_compare_unknown_scheme(capsys):
+    assert main(["compare", "--schemes", "sp,bogus", *FAST]) == 2
+    assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_configure(capsys):
+    assert main(
+        ["configure", "--files", "50", "--size-mb", "50", "--rate", "8",
+         "--servers", "10"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "alpha" in out and "files split" in out
+
+
+def test_experiments_forwarding(tmp_path, capsys):
+    assert main(
+        ["experiments", "--only", "fig06", "--out", str(tmp_path)]
+    ) == 0
+    assert (tmp_path / "fig06.txt").exists()
+
+
+def test_stragglers_choices_rejected():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--stragglers", "tornado", *FAST])

@@ -1,0 +1,173 @@
+"""Behavioral properties of the simulator across engines and features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulationConfig, StragglerInjector, simulate_reads
+from repro.cluster.client import ReadOp
+from repro.common import ClusterSpec, Gbps, MB
+from repro.policies import SPCachePolicy, SingleCopyPolicy
+from repro.workloads import paper_fileset, poisson_trace
+from repro.workloads.arrivals import ArrivalTrace
+from repro.workloads.bing import BingStragglerProfile
+
+CLUSTER = ClusterSpec(n_servers=10, bandwidth=Gbps)
+POP = paper_fileset(30, size_mb=20, zipf_exponent=1.1, total_rate=6.0)
+TRACE = poisson_trace(POP, n_requests=1500, seed=0)
+
+
+def _run(policy, config):
+    return simulate_reads(TRACE, policy, CLUSTER, config)
+
+
+@pytest.mark.parametrize("discipline", ["fifo", "ps"])
+def test_conservation_of_bytes(discipline):
+    """Every scheduled byte must be accounted to some server."""
+    policy = SPCachePolicy(POP, CLUSTER, alpha=2e-7, seed=1)
+    result = _run(
+        policy,
+        SimulationConfig(
+            discipline=discipline, jitter="deterministic", seed=2
+        ),
+    )
+    expected = POP.sizes[TRACE.file_ids].sum()
+    assert result.server_bytes.sum() == pytest.approx(expected, rel=1e-9)
+
+
+@pytest.mark.parametrize("discipline", ["fifo", "ps"])
+def test_latencies_at_least_wire_time(discipline):
+    """No request can finish faster than its bytes through the client NIC
+    (goodput disabled, no decode)."""
+    policy = SingleCopyPolicy(POP, CLUSTER, seed=1)
+    result = _run(
+        policy,
+        SimulationConfig(
+            discipline=discipline,
+            jitter="deterministic",
+            goodput=None,
+            seed=2,
+        ),
+    )
+    sizes = POP.sizes[TRACE.file_ids]
+    floor = sizes / CLUSTER.bandwidths[0]  # single-stream: server NIC
+    assert np.all(result.latencies >= floor - 1e-9)
+
+
+def test_deterministic_given_seed():
+    policy = SPCachePolicy(POP, CLUSTER, alpha=2e-7, seed=1)
+    cfg = SimulationConfig(seed=5)
+    a = _run(policy, cfg).latencies
+    b = _run(policy, cfg).latencies
+    assert np.array_equal(a, b)
+
+
+def test_stragglers_increase_latency_not_load():
+    """Delay-only semantics: stragglers lift latencies but server bytes
+    stay identical (a sleeping thread ships no extra bytes)."""
+    policy = SPCachePolicy(POP, CLUSTER, alpha=1e-6, seed=1)
+    clean = _run(
+        policy, SimulationConfig(jitter="deterministic", seed=3)
+    )
+    slow = _run(
+        policy,
+        SimulationConfig(
+            jitter="deterministic",
+            stragglers=StragglerInjector(BingStragglerProfile(0.3)),
+            seed=3,
+        ),
+    )
+    assert slow.latencies.mean() > clean.latencies.mean()
+    assert np.array_equal(slow.server_bytes, clean.server_bytes)
+
+
+def test_late_binding_dodges_stragglers():
+    """Joining on k of k+1 reads beats joining on all k+1 when stragglers
+    delay completions."""
+    n = 4000
+    trace = ArrivalTrace(
+        np.linspace(0, 4000, n), np.zeros(n, dtype=np.int64)
+    )
+
+    class Fanout:
+        def __init__(self, join):
+            self.join = join
+
+        def plan_read(self, fid, rng):
+            return ReadOp(
+                server_ids=np.arange(5),
+                sizes=np.full(5, 1 * MB),
+                join_count=self.join,
+            )
+
+        def footprint(self, fid):
+            return 5 * MB
+
+    cfg = SimulationConfig(
+        jitter="deterministic",
+        stragglers=StragglerInjector(BingStragglerProfile(0.2)),
+        seed=4,
+    )
+    cluster = ClusterSpec(n_servers=5, bandwidth=Gbps)
+    all5 = simulate_reads(trace, Fanout(5), cluster, cfg).summary()
+    any4 = simulate_reads(trace, Fanout(4), cluster, cfg).summary()
+    assert any4.mean < all5.mean
+
+
+def test_post_fraction_and_seconds_applied():
+    trace = ArrivalTrace(np.array([0.0]), np.array([0]))
+
+    class Decoded:
+        def plan_read(self, fid, rng):
+            return ReadOp(
+                server_ids=np.array([0]),
+                sizes=np.array([float(Gbps)]),  # exactly 1 s of wire time
+                post_fraction=0.2,
+                post_seconds=0.5,
+            )
+
+        def footprint(self, fid):
+            return float(Gbps)
+
+    cluster = ClusterSpec(n_servers=1, bandwidth=Gbps, client_bandwidth=Gbps)
+    cfg = SimulationConfig(jitter="deterministic", goodput=None, seed=0)
+    result = simulate_reads(trace, Decoded(), cluster, cfg)
+    assert result.latencies[0] == pytest.approx(1.0 * 1.2 + 0.5)
+
+
+def test_cache_budget_miss_penalty_and_hits():
+    policy = SingleCopyPolicy(POP, CLUSTER, seed=1)
+    tight = SimulationConfig(
+        jitter="deterministic",
+        cache_budget=POP.total_bytes * 0.3,
+        miss_penalty=3.0,
+        seed=3,
+    )
+    loose = SimulationConfig(
+        jitter="deterministic",
+        cache_budget=POP.total_bytes * 10,
+        seed=3,
+    )
+    r_tight = _run(policy, tight)
+    r_loose = _run(policy, loose)
+    assert r_tight.misses > r_loose.misses
+    assert r_tight.hit_ratio < 1.0
+    # Every file is touched at least once: first access always misses.
+    assert r_loose.misses == len(np.unique(TRACE.file_ids))
+    assert r_tight.latencies.mean() > r_loose.latencies.mean()
+
+
+def test_warmup_fraction_trims_prefix():
+    policy = SingleCopyPolicy(POP, CLUSTER, seed=1)
+    result = _run(policy, SimulationConfig(seed=3, warmup_fraction=0.5))
+    assert result.steady_state_latencies().size == result.n_requests // 2
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SimulationConfig(cache_budget=0.0)
+    with pytest.raises(ValueError):
+        SimulationConfig(miss_penalty=0.5)
+    with pytest.raises(ValueError):
+        SimulationConfig(warmup_fraction=1.0)

@@ -1,0 +1,131 @@
+"""Core value types: FilePopulation, ClusterSpec, units."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    GB,
+    KB,
+    MB,
+    ClusterSpec,
+    FilePopulation,
+    Gbps,
+    Mbps,
+    make_rng,
+    validate_probability_vector,
+)
+
+
+def test_units():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+    assert Gbps == pytest.approx(125e6)
+    assert Mbps == pytest.approx(125e3)
+
+
+def test_make_rng_idempotent_on_generator():
+    rng = np.random.default_rng(0)
+    assert make_rng(rng) is rng
+
+
+def test_make_rng_seed_reproducible():
+    assert make_rng(42).random() == make_rng(42).random()
+
+
+class TestProbabilityVector:
+    def test_normalizes(self):
+        p = validate_probability_vector(np.array([1.0, 3.0]))
+        assert np.allclose(p, [0.25, 0.75])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_probability_vector(np.array([0.5, -0.1]))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            validate_probability_vector(np.zeros(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            validate_probability_vector(np.array([0.5, np.nan]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            validate_probability_vector(np.ones((2, 2)))
+
+
+class TestFilePopulation:
+    def test_loads_and_rates(self):
+        pop = FilePopulation(
+            sizes=np.array([10.0, 20.0]),
+            popularities=np.array([0.25, 0.75]),
+            total_rate=4.0,
+        )
+        assert np.allclose(pop.loads, [2.5, 15.0])
+        assert np.allclose(pop.rates, [1.0, 3.0])
+        assert pop.total_bytes == 30.0
+        assert pop.n_files == 2
+
+    def test_with_rate(self):
+        pop = FilePopulation(np.array([1.0]), np.array([1.0]), total_rate=1.0)
+        assert pop.with_rate(9.0).total_rate == 9.0
+        assert pop.total_rate == 1.0  # original untouched
+
+    def test_with_popularities(self):
+        pop = FilePopulation(
+            np.array([1.0, 1.0]), np.array([0.5, 0.5]), total_rate=1.0
+        )
+        new = pop.with_popularities(np.array([0.9, 0.1]))
+        assert np.allclose(new.popularities, [0.9, 0.1])
+
+    def test_uniform_sizes(self):
+        pop = FilePopulation.uniform_sizes(5, 100.0, np.ones(5) / 5)
+        assert np.all(pop.sizes == 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FilePopulation(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            FilePopulation(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            FilePopulation(np.array([1.0]), np.array([1.0]), total_rate=0.0)
+        with pytest.raises(ValueError):
+            FilePopulation(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestClusterSpec:
+    def test_broadcast_bandwidth(self):
+        cl = ClusterSpec(n_servers=4, bandwidth=Gbps)
+        assert cl.bandwidths.shape == (4,)
+        assert np.all(cl.bandwidths == Gbps)
+
+    def test_heterogeneous_bandwidth(self):
+        cl = ClusterSpec(n_servers=2, bandwidth=np.array([1e8, 2e8]))
+        assert cl.bandwidths[1] == 2e8
+
+    def test_client_bandwidth_default_is_3x(self):
+        cl = ClusterSpec(n_servers=3, bandwidth=Gbps)
+        assert cl.effective_client_bandwidth == pytest.approx(3 * Gbps)
+
+    def test_client_bandwidth_override(self):
+        cl = ClusterSpec(n_servers=3, bandwidth=Gbps, client_bandwidth=Gbps)
+        assert cl.effective_client_bandwidth == Gbps
+
+    def test_with_helpers(self):
+        cl = ClusterSpec(n_servers=2, capacity=10.0)
+        assert cl.with_capacity(5.0).capacity == 5.0
+        assert cl.with_bandwidth(7.0).bandwidths[0] == 7.0
+        assert cl.total_capacity == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_servers=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(n_servers=2, bandwidth=-1.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(n_servers=2, capacity=0.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(n_servers=2, client_bandwidth=0.0)

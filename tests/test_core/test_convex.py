@@ -1,0 +1,98 @@
+"""Eq. (9) solver: correctness against brute force and scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import minimize_scalar
+
+from repro.core.convex import fork_join_upper_bound, fork_join_upper_bound_batch
+
+
+def _objective(z, means, variances):
+    diff = means - z
+    return z + 0.5 * diff.sum() + 0.5 * np.sqrt(diff**2 + variances).sum()
+
+
+def test_single_queue_bound_is_the_mean():
+    assert fork_join_upper_bound([2.5], [4.0]) == pytest.approx(2.5)
+
+
+def test_zero_variance_bound_is_max_mean():
+    """With no variance the max of sojourns is deterministic."""
+    means = np.array([1.0, 3.0, 2.0])
+    out = fork_join_upper_bound(means, np.zeros(3))
+    assert out == pytest.approx(3.0, abs=1e-6)
+
+
+def test_matches_scipy_brent():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        m = rng.integers(2, 12)
+        means = rng.uniform(0.1, 5.0, m)
+        variances = rng.uniform(0.0, 4.0, m)
+        ours = fork_join_upper_bound(means, variances)
+        ref = minimize_scalar(
+            lambda z: _objective(z, means, variances),
+            bracket=(means.min() - 10, means.max() + 10),
+        )
+        assert ours == pytest.approx(ref.fun, rel=1e-6)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=2,
+        max_size=10,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_bound_at_least_max_mean(queue_stats):
+    """E[max] >= max E => the upper bound must be too."""
+    means = np.array([m for m, _ in queue_stats])
+    variances = np.array([v for _, v in queue_stats])
+    out = fork_join_upper_bound(means, variances)
+    assert out >= means.max() - 1e-8
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=8)
+)
+@settings(max_examples=60, deadline=None)
+def test_bound_increases_with_variance(means):
+    means = np.array(means)
+    low = fork_join_upper_bound(means, np.full(means.size, 0.1))
+    high = fork_join_upper_bound(means, np.full(means.size, 5.0))
+    assert high >= low
+
+
+def test_batch_matches_scalar():
+    rng = np.random.default_rng(1)
+    means = rng.uniform(0.1, 3.0, (30, 5))
+    variances = rng.uniform(0.0, 2.0, (30, 5))
+    batch = fork_join_upper_bound_batch(means, variances)
+    for i in range(0, 30, 7):
+        assert batch[i] == pytest.approx(
+            fork_join_upper_bound(means[i], variances[i])
+        )
+
+
+def test_infinite_stats_give_infinite_bound():
+    out = fork_join_upper_bound_batch(
+        np.array([[1.0, np.inf], [1.0, 2.0]]),
+        np.array([[1.0, 1.0], [1.0, 1.0]]),
+    )
+    assert np.isinf(out[0])
+    assert np.isfinite(out[1])
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        fork_join_upper_bound_batch(np.ones((2, 3)), np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        fork_join_upper_bound_batch(np.ones((1, 2)), -np.ones((1, 2)))

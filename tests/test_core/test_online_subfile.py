@@ -1,0 +1,152 @@
+"""Sec. 8 extensions: online partition adjustment and sub-file partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import MB, ClusterSpec, Gbps
+from repro.core.online import AdjustOp, OnlineAdjuster
+from repro.core.partitioner import partition_counts
+from repro.core.subfile import SegmentedFile, subfile_partition
+from repro.workloads import paper_fileset
+
+
+class TestOnlineAdjuster:
+    def _adjuster(self, alpha_mb=2.0, tolerance=2.0):
+        pop = paper_fileset(40, size_mb=100, zipf_exponent=1.1, total_rate=8.0)
+        cluster = ClusterSpec(n_servers=20, bandwidth=Gbps)
+        alpha = alpha_mb / MB
+        ks = partition_counts(pop, alpha, n_servers=20)
+        return (
+            OnlineAdjuster(pop, cluster, alpha, ks, tolerance=tolerance),
+            pop,
+        )
+
+    def test_no_observations_uniform_estimate(self):
+        adj, pop = self._adjuster()
+        est = adj.estimated_popularities()
+        assert np.allclose(est, 1 / pop.n_files)
+
+    def test_burst_triggers_split(self):
+        adj, pop = self._adjuster()
+        cold = pop.n_files - 1  # a cold file with k=1
+        assert adj.ks[cold] == 1
+        adj.observe_many(np.full(500, cold))  # sudden burst on it
+        ops = adj.plan()
+        split_ops = [o for o in ops if o.file_id == cold]
+        assert split_ops and split_ops[0].action == "split"
+        assert split_ops[0].new_k == 2
+
+    def test_cooling_triggers_merge(self):
+        adj, pop = self._adjuster()
+        hot = 0
+        assert adj.ks[hot] > 1
+        # The window now says the old hot file is never read.
+        adj.observe_many(np.full(800, pop.n_files - 1))
+        ops = adj.plan()
+        merge_ops = [o for o in ops if o.file_id == hot]
+        assert merge_ops and merge_ops[0].action == "merge"
+
+    def test_step_applies_and_accounts(self):
+        adj, pop = self._adjuster()
+        adj.observe_many(np.full(600, pop.n_files - 1))
+        ops = adj.step()
+        assert adj.ops_applied == len(ops)
+        assert adj.total_moved_bytes > 0
+        # Doubling ladder: each op moved at most half the file.
+        for op in ops:
+            assert op.moved_bytes <= pop.sizes[op.file_id] / 2 + 1e-9
+
+    def test_converges_to_steady_plan(self):
+        """Repeated rounds on a stationary window must stop emitting ops."""
+        adj, pop = self._adjuster()
+        rng = np.random.default_rng(0)
+        adj.observe_many(
+            rng.choice(pop.n_files, size=2000, p=pop.popularities)
+        )
+        for _ in range(12):
+            ops = adj.step()
+        assert ops == []  # the doubling ladder has settled
+
+    def test_stale_op_rejected(self):
+        adj, pop = self._adjuster()
+        op = AdjustOp(0, "merge", old_k=99, new_k=49, moved_bytes=1.0)
+        with pytest.raises(ValueError):
+            adj.apply([op])
+
+    def test_adjustment_time_parallel(self):
+        adj, pop = self._adjuster()
+        ops = [
+            AdjustOp(0, "split", adj.ks[0], adj.ks[0] * 2, 50 * MB),
+            AdjustOp(1, "split", adj.ks[1], adj.ks[1] * 2, 10 * MB),
+        ]
+        # Parallel: cost of the largest transfer only.
+        assert adj.adjustment_time(ops) == pytest.approx(50 * MB / Gbps)
+        assert adj.adjustment_time([]) == 0.0
+
+    def test_validation(self):
+        pop = paper_fileset(5, size_mb=10)
+        cluster = ClusterSpec(n_servers=5)
+        ks = np.ones(5, dtype=np.int64)
+        with pytest.raises(ValueError):
+            OnlineAdjuster(pop, cluster, alpha=0.0, initial_ks=ks)
+        with pytest.raises(ValueError):
+            OnlineAdjuster(pop, cluster, alpha=1.0, initial_ks=ks, tolerance=1.0)
+        with pytest.raises(ValueError):
+            OnlineAdjuster(pop, cluster, alpha=1.0, initial_ks=ks[:-1])
+
+    def test_adjust_op_validation(self):
+        with pytest.raises(ValueError):
+            AdjustOp(0, "split", old_k=4, new_k=4, moved_bytes=1.0)
+        with pytest.raises(ValueError):
+            AdjustOp(0, "merge", old_k=4, new_k=8, moved_bytes=1.0)
+
+
+class TestSubfilePartition:
+    def test_hot_segment_gets_more_partitions(self):
+        f = SegmentedFile(
+            segment_sizes=np.array([50 * MB, 50 * MB]),
+            segment_popularities=np.array([0.9, 0.1]),
+        )
+        ks = subfile_partition(f, file_popularity=0.5, alpha=1.0 / MB, n_servers=30)
+        assert ks[0] > ks[1]
+        assert ks[1] >= 1
+
+    def test_uniform_degenerates_to_even_split(self):
+        f = SegmentedFile(
+            segment_sizes=np.full(4, 25 * MB),
+            segment_popularities=np.full(4, 0.25),
+        )
+        ks = subfile_partition(f, 0.4, alpha=1.0 / MB, n_servers=30)
+        assert np.all(ks == ks[0])
+
+    def test_clamped_to_cluster(self):
+        f = SegmentedFile(
+            segment_sizes=np.array([1000 * MB]),
+            segment_popularities=np.array([1.0]),
+        )
+        ks = subfile_partition(f, 1.0, alpha=1.0 / MB, n_servers=10)
+        assert ks[0] == 10
+
+    def test_loads_and_size(self):
+        f = SegmentedFile(
+            segment_sizes=np.array([10.0, 30.0]),
+            segment_popularities=np.array([0.5, 0.5]),
+        )
+        assert f.size == 40.0
+        assert np.allclose(f.segment_loads, [5.0, 15.0])
+        assert f.n_segments == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentedFile(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            SegmentedFile(np.array([1.0]), np.array([0.5, 0.5]))
+        f = SegmentedFile(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            subfile_partition(f, 0.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            subfile_partition(f, 0.5, -1.0, 10)
+        with pytest.raises(ValueError):
+            subfile_partition(f, 0.5, 1.0, 0)

@@ -1,0 +1,81 @@
+"""Eq. (1) partition sizing invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import FilePopulation
+from repro.core.partitioner import max_load, partition_counts, partition_sizes
+
+
+def test_basic_formula():
+    loads = np.array([0.0, 0.4, 1.0, 2.3])
+    ks = partition_counts(loads, alpha=1.0)
+    assert list(ks) == [1, 1, 1, 3]
+
+
+def test_minimum_one_partition():
+    assert partition_counts(np.zeros(5), alpha=10.0).min() == 1
+
+
+def test_clamped_to_server_count():
+    ks = partition_counts(np.array([100.0]), alpha=1.0, n_servers=8)
+    assert ks[0] == 8
+
+
+def test_accepts_population(small_population):
+    ks = partition_counts(small_population, alpha=1e-6, n_servers=10)
+    assert ks.shape == (small_population.n_files,)
+
+
+@given(
+    st.floats(min_value=1e-9, max_value=1e3),
+    st.lists(
+        st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50
+    ),
+)
+@settings(max_examples=100)
+def test_counts_monotone_in_alpha_and_load(alpha, loads):
+    loads = np.array(loads)
+    k1 = partition_counts(loads, alpha)
+    k2 = partition_counts(loads, alpha * 2)
+    assert np.all(k2 >= k1)  # more alpha, never fewer partitions
+    order = np.argsort(loads)
+    assert np.all(np.diff(k1[order]) >= 0)  # hotter => at least as many
+
+
+@given(st.floats(min_value=1e-6, max_value=100.0))
+@settings(max_examples=50)
+def test_partition_load_bounded_by_inverse_alpha(alpha):
+    """Per-partition load L_i / k_i <= 1/alpha whenever unclamped."""
+    loads = np.linspace(0.1, 50.0, 40)
+    ks = partition_counts(loads, alpha)
+    per_part = loads / ks
+    unclamped = ks > 1  # files where ceil actually bit
+    assert np.all(per_part[unclamped] <= 1 / alpha + 1e-9)
+
+
+def test_rejects_bad_args():
+    with pytest.raises(ValueError):
+        partition_counts(np.array([1.0]), alpha=0.0)
+    with pytest.raises(ValueError):
+        partition_counts(np.array([-1.0]), alpha=1.0)
+    with pytest.raises(ValueError):
+        partition_counts(np.array([1.0]), alpha=1.0, n_servers=0)
+
+
+def test_partition_sizes(small_population):
+    ks = np.ones(small_population.n_files, dtype=np.int64) * 2
+    sizes = partition_sizes(small_population, ks)
+    assert np.allclose(sizes, small_population.sizes / 2)
+    with pytest.raises(ValueError):
+        partition_sizes(small_population, ks[:-1])
+    with pytest.raises(ValueError):
+        partition_sizes(small_population, ks * 0)
+
+
+def test_max_load(small_population):
+    assert max_load(small_population) == small_population.loads.max()

@@ -1,0 +1,99 @@
+"""Placement strategies: distinctness, balance, incremental extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import imbalance_factor
+from repro.core.placement import (
+    extend_placement,
+    place_partitions_greedy,
+    place_partitions_random,
+    placement_server_loads,
+)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=40),
+    st.integers(min_value=10, max_value=30),
+)
+@settings(max_examples=60)
+def test_random_placement_distinct_servers(ks, n_servers):
+    ks = np.array(ks)
+    servers_of = place_partitions_random(ks, n_servers, seed=0)
+    for k, servers in zip(ks, servers_of):
+        assert servers.size == k
+        assert np.unique(servers).size == k
+        assert servers.min() >= 0 and servers.max() < n_servers
+
+
+def test_random_placement_rejects_oversized_k():
+    with pytest.raises(ValueError):
+        place_partitions_random(np.array([5]), 4)
+    with pytest.raises(ValueError):
+        place_partitions_random(np.array([0]), 4)
+
+
+def test_greedy_placement_balances_better_than_random():
+    rng = np.random.default_rng(0)
+    loads = rng.pareto(1.2, 200) + 0.1
+    ks = np.minimum(np.ceil(loads).astype(np.int64), 20)
+    greedy = place_partitions_greedy(ks, loads, 20)
+    random = place_partitions_random(ks, 20, seed=1)
+    eta_greedy = imbalance_factor(placement_server_loads(greedy, loads, 20))
+    eta_random = imbalance_factor(placement_server_loads(random, loads, 20))
+    assert eta_greedy < eta_random
+
+
+def test_greedy_respects_distinctness():
+    loads = np.array([10.0, 5.0, 1.0])
+    ks = np.array([4, 2, 1])
+    servers_of = place_partitions_greedy(ks, loads, 5)
+    for k, servers in zip(ks, servers_of):
+        assert np.unique(servers).size == k
+
+
+def test_greedy_uses_initial_loads():
+    """A pre-loaded server should be avoided."""
+    initial = np.array([100.0, 0.0, 0.0])
+    servers_of = place_partitions_greedy(
+        np.array([2]), np.array([1.0]), 3, initial_server_loads=initial
+    )
+    assert 0 not in servers_of[0]
+
+
+def test_extend_placement_grows_without_moving():
+    old = place_partitions_random(np.array([2, 1]), 10, seed=0)
+    new = extend_placement(old, np.array([5, 1]), 10, seed=1)
+    assert np.array_equal(new[0][:2], old[0])  # existing servers kept
+    assert np.unique(new[0]).size == 5
+    assert np.array_equal(new[1], old[1])
+
+
+def test_extend_placement_shrinks_by_truncation():
+    old = place_partitions_random(np.array([6]), 10, seed=0)
+    new = extend_placement(old, np.array([3]), 10, seed=1)
+    assert np.array_equal(new[0], old[0][:3])
+
+
+def test_extend_placement_validation():
+    old = place_partitions_random(np.array([2]), 4, seed=0)
+    with pytest.raises(ValueError):
+        extend_placement(old, np.array([5]), 4)
+    with pytest.raises(ValueError):
+        extend_placement(old, np.array([1, 1]), 4)
+
+
+def test_server_loads_accounting():
+    servers_of = [np.array([0, 1]), np.array([1])]
+    loads = np.array([4.0, 3.0])
+    out = placement_server_loads(servers_of, loads, 3)
+    assert np.allclose(out, [2.0, 5.0, 0.0])
+
+
+def test_server_loads_alignment_error():
+    with pytest.raises(ValueError):
+        placement_server_loads([np.array([0])], np.array([1.0, 2.0]), 2)

@@ -1,0 +1,129 @@
+"""Algorithm 2: plan invariants and timing model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import imbalance_factor
+from repro.common import MB, ClusterSpec, Gbps
+from repro.core import plan_repartition
+from repro.core.placement import (
+    place_partitions_random,
+    placement_server_loads,
+)
+from repro.core.partitioner import partition_counts
+from repro.core.repartition import (
+    repartition_time_parallel,
+    repartition_time_sequential,
+)
+from repro.workloads import paper_fileset, shuffled_popularity
+
+
+@pytest.fixture
+def shifted_setup():
+    cluster = ClusterSpec(n_servers=20, bandwidth=Gbps)
+    pop = paper_fileset(120, size_mb=50, zipf_exponent=1.05, total_rate=10.0)
+    alpha = 2.0 / MB
+    old_ks = partition_counts(pop, alpha, n_servers=20)
+    old_servers = place_partitions_random(old_ks, 20, seed=0)
+    shifted = pop.with_popularities(
+        shuffled_popularity(pop.popularities, seed=1)
+    )
+    plan = plan_repartition(
+        shifted, cluster, old_ks, old_servers, alpha=alpha, seed=2
+    )
+    return cluster, pop, shifted, alpha, old_ks, old_servers, plan
+
+
+def test_plan_covers_every_file(shifted_setup):
+    *_, shifted, alpha, old_ks, old_servers, plan = (
+        shifted_setup[0],
+        shifted_setup[1],
+        shifted_setup[2],
+        shifted_setup[3],
+        shifted_setup[4],
+        shifted_setup[5],
+        shifted_setup[6],
+    )
+    n = shifted.n_files
+    assert plan.new_ks.shape == (n,)
+    assert len(plan.new_servers_of) == n
+    for k, servers in zip(plan.new_ks, plan.new_servers_of):
+        assert servers.size == k
+        assert np.unique(servers).size == k  # distinct servers
+
+
+def test_unchanged_files_stay_in_place(shifted_setup):
+    _, _, _, _, old_ks, old_servers, plan = shifted_setup
+    for i in np.nonzero(~plan.changed)[0]:
+        assert np.array_equal(plan.new_servers_of[i], old_servers[i])
+        assert plan.repartitioner_of[i] == -1
+
+
+def test_changed_files_get_local_repartitioner(shifted_setup):
+    _, _, _, _, old_ks, old_servers, plan = shifted_setup
+    for i in np.nonzero(plan.changed)[0]:
+        assert plan.repartitioner_of[i] in old_servers[i]
+
+
+def test_changed_flags_match_k_difference(shifted_setup):
+    _, _, _, _, old_ks, _, plan = shifted_setup
+    assert np.array_equal(plan.changed, plan.new_ks != old_ks)
+
+
+def test_no_shift_means_no_repartition():
+    cluster = ClusterSpec(n_servers=10, bandwidth=Gbps)
+    pop = paper_fileset(50, size_mb=50, total_rate=5.0)
+    alpha = 1.0 / MB
+    old_ks = partition_counts(pop, alpha, n_servers=10)
+    old_servers = place_partitions_random(old_ks, 10, seed=0)
+    plan = plan_repartition(pop, cluster, old_ks, old_servers, alpha=alpha)
+    assert plan.n_changed == 0
+    assert repartition_time_parallel(plan, pop, cluster, old_ks) == 0.0
+
+
+def test_parallel_much_faster_than_sequential(shifted_setup):
+    cluster, _, shifted, _, old_ks, _, plan = shifted_setup
+    par = repartition_time_parallel(plan, shifted, cluster, old_ks)
+    seq = repartition_time_sequential(plan, shifted, cluster, old_ks)
+    assert par < seq / 5  # the paper reports two orders of magnitude
+
+
+def test_sequential_time_is_two_full_passes(shifted_setup):
+    cluster, _, shifted, _, old_ks, _, plan = shifted_setup
+    expected = 2 * shifted.sizes.sum() / cluster.bandwidths[0]
+    assert repartition_time_sequential(
+        plan, shifted, cluster, old_ks
+    ) == pytest.approx(expected)
+
+
+def test_greedy_plan_balances_load(shifted_setup):
+    cluster, _, shifted, _, old_ks, old_servers, plan = shifted_setup
+    eta_new = imbalance_factor(
+        placement_server_loads(
+            plan.new_servers_of, shifted.loads, cluster.n_servers
+        )
+    )
+    eta_stale = imbalance_factor(
+        placement_server_loads(old_servers, shifted.loads, cluster.n_servers)
+    )
+    assert eta_new < eta_stale  # re-balancing must actually help
+
+
+def test_plan_runs_search_when_alpha_omitted():
+    cluster = ClusterSpec(n_servers=10, bandwidth=Gbps)
+    pop = paper_fileset(30, size_mb=50, total_rate=5.0)
+    old_ks = np.ones(30, dtype=np.int64)
+    old_servers = place_partitions_random(old_ks, 10, seed=0)
+    plan = plan_repartition(pop, cluster, old_ks, old_servers, seed=1)
+    assert plan.alpha > 0
+
+
+def test_plan_validates_layout():
+    cluster = ClusterSpec(n_servers=10, bandwidth=Gbps)
+    pop = paper_fileset(30, size_mb=50, total_rate=5.0)
+    with pytest.raises(ValueError):
+        plan_repartition(
+            pop, cluster, np.ones(29, dtype=np.int64), [np.array([0])] * 30
+        )

@@ -1,0 +1,74 @@
+"""Property-based invariants of Algorithm 2's repartition plans."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import MB, ClusterSpec, FilePopulation, Gbps
+from repro.core import plan_repartition
+from repro.core.partitioner import partition_counts
+from repro.core.placement import place_partitions_random
+from repro.workloads.popularity import zipf_popularity
+
+N_SERVERS = 12
+
+
+@st.composite
+def shifted_workloads(draw):
+    n_files = draw(st.integers(min_value=2, max_value=40))
+    sizes = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=200.0),
+                min_size=n_files,
+                max_size=n_files,
+            )
+        )
+    ) * MB
+    exponent = draw(st.floats(min_value=0.0, max_value=1.5))
+    rate = draw(st.floats(min_value=0.5, max_value=20.0))
+    perm_seed = draw(st.integers(min_value=0, max_value=2**16))
+    alpha_mb = draw(st.floats(min_value=0.05, max_value=50.0))
+    pop = FilePopulation(
+        sizes=sizes,
+        popularities=zipf_popularity(n_files, exponent),
+        total_rate=rate,
+    )
+    rng = np.random.default_rng(perm_seed)
+    shifted = pop.with_popularities(rng.permutation(pop.popularities))
+    return pop, shifted, alpha_mb / MB
+
+
+@given(shifted_workloads())
+@settings(max_examples=80, deadline=None)
+def test_plan_invariants(workload):
+    pop, shifted, alpha = workload
+    cluster = ClusterSpec(n_servers=N_SERVERS, bandwidth=Gbps)
+    old_ks = partition_counts(pop, alpha, n_servers=N_SERVERS)
+    old_servers = place_partitions_random(old_ks, N_SERVERS, seed=0)
+    plan = plan_repartition(
+        shifted, cluster, old_ks, old_servers, alpha=alpha, seed=1
+    )
+
+    expected_ks = partition_counts(shifted, alpha, n_servers=N_SERVERS)
+    # 1. The plan realizes exactly Eq. (1) under the new popularity.
+    assert np.array_equal(plan.new_ks, expected_ks)
+    # 2. changed <=> the partition count moved.
+    assert np.array_equal(plan.changed, expected_ks != old_ks)
+    for i in range(pop.n_files):
+        servers = plan.new_servers_of[i]
+        # 3. Every file's layout matches its count, on distinct servers.
+        assert servers.size == plan.new_ks[i]
+        assert np.unique(servers).size == servers.size
+        if plan.changed[i]:
+            # 4. Changed files are handled by a repartitioner that already
+            #    holds one of their partitions (no extra collection hop).
+            assert plan.repartitioner_of[i] in old_servers[i]
+        else:
+            # 5. Unchanged files are never moved.
+            assert np.array_equal(servers, old_servers[i])
+            assert plan.repartitioner_of[i] == -1
+    # 6. Fraction bookkeeping.
+    assert plan.changed_fraction == plan.changed.mean()

@@ -1,0 +1,106 @@
+"""Theorem 1: closed forms, Monte Carlo agreement, asymptotics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import MB
+from repro.core.partitioner import partition_counts
+from repro.core.theory import (
+    ec_load_variance,
+    monte_carlo_load_variance,
+    sp_load_variance,
+    variance_ratio,
+    variance_ratio_limit,
+)
+from repro.workloads import paper_fileset
+
+
+@pytest.fixture(scope="module")
+def loads():
+    return paper_fileset(100, size_mb=100, zipf_exponent=1.1).loads
+
+
+def test_sp_variance_monte_carlo_agrees(loads):
+    alpha, n_servers = 1.0 / MB, 100
+    exact = sp_load_variance(loads, alpha, n_servers)
+    ks = partition_counts(loads, alpha, n_servers=n_servers)
+    mc = monte_carlo_load_variance(
+        loads, ks, n_servers, serve_probability_extra=0, n_trials=20000, seed=0
+    )
+    assert mc == pytest.approx(exact, rel=0.1)
+
+
+def test_ec_variance_monte_carlo_agrees(loads):
+    k, n, n_servers = 10, 14, 100
+    exact = ec_load_variance(loads, k, n, n_servers)
+    ks = np.full(loads.size, k, dtype=np.int64)
+    mc = monte_carlo_load_variance(
+        loads, ks, n_servers, serve_probability_extra=1, n_trials=20000, seed=1
+    )
+    assert mc == pytest.approx(exact, rel=0.1)
+
+
+def test_ratio_exact_composition(loads):
+    alpha, k, n, n_servers = 1.0 / MB, 10, 14, 100
+    ratio = variance_ratio(loads, alpha, k, n, n_servers)
+    assert ratio == pytest.approx(
+        ec_load_variance(loads, k, n, n_servers)
+        / sp_load_variance(loads, alpha, n_servers)
+    )
+
+
+def test_ratio_approaches_limit_for_large_n(loads):
+    """Eq. (2)'s limit holds as N -> infinity — *under the theorem's
+    assumption* that k_i = alpha * L_i exactly.  We pick alpha large enough
+    that no file sits on the k >= 1 floor and the ceil rounding is < 3 %.
+    """
+    alpha = 40.0 / loads.min()  # every k_i >= 40: ceil error negligible
+    k, n = 10, 14
+    limit = variance_ratio_limit(loads, alpha, k)
+    big = variance_ratio(loads, alpha, k, n, n_servers=100_000_000)
+    # The paper's derivation drops late binding's +1 in (k+1)/N ~ k/N;
+    # the exact ratio carries it, hence the (k+1)/k factor.
+    assert big == pytest.approx(limit * (k + 1) / k, rel=0.03)
+
+
+def test_floor_at_one_partition_weakens_the_limit(loads):
+    """With realistic alphas most files sit at k = 1, so the exact ratio
+    deviates from Eq. (2)'s idealized limit — same order, not equal."""
+    alpha, k, n = 0.5 / MB, 10, 14
+    limit = variance_ratio_limit(loads, alpha, k)
+    exact = variance_ratio(loads, alpha, k, n, n_servers=100_000)
+    assert 0.2 * limit < exact < 5 * limit
+
+
+def test_sp_beats_ec_under_heavy_skew():
+    """With a very hot file the ratio scales like O(L_max): EC-Cache's
+    per-server variance dwarfs SP-Cache's."""
+    loads = paper_fileset(200, size_mb=100, zipf_exponent=1.4).loads
+    ratio = variance_ratio(loads, alpha=10.0 / MB, k=10, n=14, n_servers=5000)
+    assert ratio > 10
+
+
+def test_limit_grows_linearly_with_lmax():
+    """Doubling every load doubles the Eq. (2) limit (O(L_max) scaling)."""
+    loads = paper_fileset(50, size_mb=100, zipf_exponent=1.2).loads
+    a, k = 1.0 / MB, 10
+    assert variance_ratio_limit(loads * 2, a, k) == pytest.approx(
+        2 * variance_ratio_limit(loads, a, k)
+    )
+
+
+def test_validation(loads):
+    with pytest.raises(ValueError):
+        ec_load_variance(loads, k=10, n=5, n_servers=100)
+    with pytest.raises(ValueError):
+        variance_ratio_limit(np.zeros(3), 1.0, 10)
+    with pytest.raises(ValueError):
+        monte_carlo_load_variance(
+            loads, np.ones(loads.size - 1, dtype=np.int64), 100
+        )
+    with pytest.raises(ValueError):
+        monte_carlo_load_variance(
+            loads, np.full(loads.size, 200, dtype=np.int64), 100
+        )

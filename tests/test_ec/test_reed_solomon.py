@@ -1,0 +1,117 @@
+"""Reed-Solomon: any k of n shards reconstruct the data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.reed_solomon import ReedSolomon
+
+
+def _random_data(k: int, width: int, seed: int = 0) -> np.ndarray:
+    return (
+        np.random.default_rng(seed).integers(0, 256, (k, width)).astype(np.uint8)
+    )
+
+
+def test_systematic_prefix():
+    rs = ReedSolomon(4, 7)
+    data = _random_data(4, 50)
+    coded = rs.encode(data)
+    assert np.array_equal(coded[:4], data)
+    assert coded.shape == (7, 50)
+
+
+def test_decode_from_systematic_shards():
+    rs = ReedSolomon(4, 7)
+    data = _random_data(4, 33)
+    coded = rs.encode(data)
+    out = rs.decode(np.arange(4), coded[:4])
+    assert np.array_equal(out, data)
+
+
+def test_decode_from_parity_only():
+    rs = ReedSolomon(3, 6)
+    data = _random_data(3, 20, seed=1)
+    coded = rs.encode(data)
+    ids = [3, 4, 5]
+    assert np.array_equal(rs.decode(ids, coded[ids]), data)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=1, max_value=64),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_any_k_shards_decode(k, extra_parity, width, pyrandom):
+    n = k + extra_parity
+    rs = ReedSolomon(k, n)
+    data = _random_data(k, width, seed=17)
+    coded = rs.encode(data)
+    ids = pyrandom.sample(range(n), k)
+    assert np.array_equal(rs.decode(ids, coded[ids]), data)
+
+
+def test_extra_shards_are_ignored():
+    rs = ReedSolomon(4, 8)
+    data = _random_data(4, 10, seed=2)
+    coded = rs.encode(data)
+    ids = [7, 2, 5, 0, 3]  # k + 1 shards, late binding style
+    assert np.array_equal(rs.decode(ids, coded[ids]), data)
+
+
+def test_reconstruct_lost_shard():
+    rs = ReedSolomon(5, 9)
+    data = _random_data(5, 40, seed=3)
+    coded = rs.encode(data)
+    for missing in (0, 4, 8):
+        survivors = [i for i in range(9) if i != missing][:5]
+        rebuilt = rs.reconstruct_shard(missing, survivors, coded[survivors])
+        assert np.array_equal(rebuilt, coded[missing])
+
+
+def test_overhead():
+    assert ReedSolomon(10, 14).overhead == pytest.approx(0.4)
+    assert ReedSolomon(5, 5).overhead == 0.0
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ReedSolomon(0, 4)
+    with pytest.raises(ValueError):
+        ReedSolomon(5, 4)
+    with pytest.raises(ValueError):
+        ReedSolomon(10, 257)
+
+
+def test_decode_validates_inputs():
+    rs = ReedSolomon(3, 5)
+    data = _random_data(3, 8, seed=4)
+    coded = rs.encode(data)
+    with pytest.raises(ValueError):
+        rs.decode([0, 1], coded[:2])  # too few shards
+    with pytest.raises(ValueError):
+        rs.decode([0, 0, 1], coded[[0, 0, 1]])  # duplicate ids
+    with pytest.raises(ValueError):
+        rs.decode([0, 1, 9], coded[:3])  # id out of range
+
+
+def test_encode_validates_shape():
+    rs = ReedSolomon(3, 5)
+    with pytest.raises(ValueError):
+        rs.encode(np.zeros((4, 10), dtype=np.uint8))
+
+
+def test_corrupted_parity_changes_decode():
+    """Decoding from a tampered shard must not silently equal the data."""
+    rs = ReedSolomon(3, 6)
+    data = _random_data(3, 16, seed=5)
+    coded = rs.encode(data)
+    tampered = coded.copy()
+    tampered[4, 0] ^= 0xFF
+    out = rs.decode([0, 4, 5], tampered[[0, 4, 5]])
+    assert not np.array_equal(out, data)

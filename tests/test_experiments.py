@@ -1,0 +1,100 @@
+"""Smoke tests for the experiment runners: schemas, scaling knobs, and
+cheap qualitative checks (the full claims are asserted by benchmarks/)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig01_trace_stats import run_fig01
+from repro.experiments.fig03_replication import run_fig03
+from repro.experiments.fig04_decoding import run_fig04
+from repro.experiments.fig06_goodput import run_fig06
+from repro.experiments.fig10_config_overhead import run_fig10
+from repro.experiments.fig11_partition_sizes import run_fig11
+from repro.experiments.fig16_repartition import run_fig16
+from repro.experiments.fig22_write_latency import run_fig22
+from repro.experiments.run_all import EXPERIMENTS
+from repro.experiments.skew_resilience import (
+    compare_schemes,
+    default_schemes,
+    sec73_population,
+)
+from repro.experiments.theorem1 import run_theorem1
+from repro.experiments.config import EC2_CLUSTER
+
+
+def test_fig01_buckets_and_ratio():
+    rows = run_fig01(n_files=20_000, seed=1)
+    assert rows[0]["bucket"] == "[1,10)"
+    assert rows[0]["file_fraction"] == pytest.approx(0.78, abs=0.03)
+
+
+def test_fig03_memory_grows_linearly():
+    rows = run_fig03(scale=0.05)
+    overheads = [r["memory_overhead_pct"] for r in rows]
+    assert overheads == pytest.approx([0, 10, 20, 30, 40], abs=0.01)
+
+
+def test_fig04_decode_throughput_positive():
+    rows = run_fig04(sizes_mb=(1, 5), trials=1)
+    assert all(r["decode_s_numpy"] > 0 for r in rows)
+    assert all(0 < r["overhead_calibrated"] < 1 for r in rows)
+
+
+def test_fig06_matches_calibration():
+    rows = run_fig06(ks=(1, 20, 100))
+    assert rows[0]["goodput_1gbps"] == pytest.approx(1.0)
+    assert rows[1]["goodput_1gbps"] == pytest.approx(0.8, abs=0.02)
+
+
+def test_fig10_is_fast_and_linear_ish():
+    rows = run_fig10(file_counts=(200, 400), trials=1)
+    assert rows[-1]["config_time_s"] < 30
+
+
+def test_fig11_selective_and_monotone():
+    rows = run_fig11(n_files=50, rate=8.0)
+    ranked = [r for r in rows if isinstance(r["popularity_rank"], int)]
+    counts = [r["partitions"] for r in ranked]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_fig16_parallel_beats_sequential():
+    rows = run_fig16(file_counts=(60,), trials=2)
+    assert rows[0]["speedup"] > 10
+
+
+def test_fig22_sp_fastest_writer():
+    rows = run_fig22(sizes_mb=(50, 200))
+    for r in rows[:-1]:
+        assert r["sp_write_s"] <= r["ec_write_s"]
+        assert r["sp_write_s"] <= r["rep_write_s"]
+
+
+def test_theorem1_monte_carlo_close():
+    rows = run_theorem1(n_files=80, n_servers=120, n_trials=3000)
+    vals = {r["quantity"]: r["value"] for r in rows}
+    assert vals["ratio exact"] > 1.0
+
+
+def test_compare_schemes_returns_all_stats():
+    pop = sec73_population(rate=8.0, n_files=60)
+    stats = compare_schemes(pop, EC2_CLUSTER, default_schemes(), scale=0.05)
+    assert set(stats) == {"sp-cache", "ec-cache", "selective-replication"}
+    for s in stats.values():
+        assert s["mean_s"] > 0
+        assert s["server_bytes"].shape == (30,)
+        assert np.isfinite(s["eta"])
+
+
+def test_registry_covers_every_experiment():
+    expected = {
+        "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig08",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+        "fig19", "fig20", "fig21", "fig22", "theorem1",
+    }
+    assert set(EXPERIMENTS) == expected
+    for runner, scalable in EXPERIMENTS.values():
+        assert callable(runner)
+        assert isinstance(scalable, bool)

@@ -1,0 +1,26 @@
+"""The run_all CLI: argument handling and output files."""
+
+from __future__ import annotations
+
+from repro.experiments.run_all import main
+
+
+def test_single_cheap_experiment(tmp_path, capsys):
+    code = main(["--only", "fig06", "--out", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig06" in out and "goodput_1gbps" in out
+    written = (tmp_path / "fig06.txt").read_text()
+    assert "partitions" in written
+
+
+def test_unknown_experiment_errors(tmp_path, capsys):
+    code = main(["--only", "fig99", "--out", str(tmp_path)])
+    assert code == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_scale_flag_reaches_runner(tmp_path, capsys):
+    code = main(["--only", "fig03", "--scale", "0.05", "--out", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "fig03.txt").exists()

@@ -1,0 +1,74 @@
+"""Lineage DAG recovery and under-store bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.lineage import LineageGraph
+from repro.store.under_store import UnderStore
+
+
+class TestUnderStore:
+    def test_checkpoint_read(self):
+        us = UnderStore()
+        us.checkpoint(1, b"abc")
+        assert us.read(1) == b"abc"
+        assert 1 in us and len(us) == 1
+        assert us.writes == 1 and us.reads == 1
+
+    def test_missing_read_raises(self):
+        with pytest.raises(KeyError):
+            UnderStore().read(5)
+
+    def test_overwrite_and_delete(self):
+        us = UnderStore()
+        us.checkpoint(1, b"v1")
+        us.checkpoint(1, b"v2")
+        assert us.read(1) == b"v2"
+        us.delete(1)
+        assert 1 not in us
+
+
+class TestLineage:
+    def test_direct_recovery_from_source(self):
+        g = LineageGraph()
+        out = g.recover(1, lambda fid: b"cached" if fid == 1 else None)
+        assert out == b"cached"
+
+    def test_recompute_single_level(self):
+        g = LineageGraph()
+        g.register(2, (1,), lambda ps: ps[0] + b"!")
+        sources = {1: b"base"}
+        assert g.recover(2, sources.get) == b"base!"
+
+    def test_recursive_recompute(self):
+        g = LineageGraph()
+        g.register(2, (1,), lambda ps: ps[0] * 2)
+        g.register(3, (2,), lambda ps: ps[0] + b"x")
+        sources = {1: b"a"}
+        assert g.recover(3, sources.get) == b"aax"
+
+    def test_multi_parent(self):
+        g = LineageGraph()
+        g.register(3, (1, 2), lambda ps: ps[0] + ps[1])
+        sources = {1: b"foo", 2: b"bar"}
+        assert g.recover(3, sources.get) == b"foobar"
+
+    def test_missing_everything_raises(self):
+        g = LineageGraph()
+        g.register(2, (1,), lambda ps: ps[0])
+        with pytest.raises(KeyError):
+            g.recover(2, lambda fid: None)
+
+    def test_self_parent_rejected(self):
+        g = LineageGraph()
+        with pytest.raises(ValueError):
+            g.register(1, (1,), lambda ps: ps[0])
+
+    def test_cycle_rejected(self):
+        g = LineageGraph()
+        g.register(2, (1,), lambda ps: ps[0])
+        g.register(1, (3,), lambda ps: ps[0])
+        with pytest.raises(ValueError):
+            g.register(3, (2,), lambda ps: ps[0])
+        assert 3 not in g  # the bad record was rolled back

@@ -1,0 +1,114 @@
+"""Byte-budgeted LRU invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.lru import LRUCache
+
+
+def test_basic_put_touch():
+    lru = LRUCache(100)
+    lru.put("a", 40)
+    lru.put("b", 40)
+    assert lru.touch("a")
+    assert not lru.touch("zzz")
+    assert lru.hits == 1 and lru.misses == 1
+    assert lru.used_bytes == 80
+    assert lru.free_bytes == 20
+
+
+def test_eviction_order_is_lru():
+    lru = LRUCache(100)
+    lru.put("a", 40)
+    lru.put("b", 40)
+    lru.touch("a")  # b is now coldest
+    evicted = lru.put("c", 40)
+    assert evicted == ["b"]
+    assert "a" in lru and "c" in lru
+
+
+def test_eviction_callback_and_counter():
+    dropped = []
+    lru = LRUCache(10, on_evict=lambda k, s: dropped.append((k, s)))
+    lru.put(1, 6)
+    lru.put(2, 6)
+    assert dropped == [(1, 6.0)]
+    assert lru.evictions == 1
+
+
+def test_reinsert_updates_size_and_recency():
+    lru = LRUCache(100)
+    lru.put("a", 10)
+    lru.put("b", 10)
+    lru.put("a", 50)  # resize + refresh
+    assert lru.used_bytes == 60
+    evicted = lru.put("c", 45)
+    assert evicted == ["b"]
+
+
+def test_item_larger_than_capacity_rejected():
+    lru = LRUCache(10)
+    with pytest.raises(ValueError):
+        lru.put("big", 11)
+
+
+def test_remove():
+    lru = LRUCache(10)
+    lru.put("a", 5)
+    assert lru.remove("a") == 5
+    assert lru.used_bytes == 0
+    with pytest.raises(KeyError):
+        lru.remove("a")
+
+
+def test_hit_ratio_and_reset():
+    lru = LRUCache(10)
+    lru.put("a", 1)
+    lru.touch("a")
+    lru.touch("b")
+    assert lru.hit_ratio() == 0.5
+    lru.reset_stats()
+    assert lru.hit_ratio() == 0.0
+
+
+def test_iteration_cold_to_hot():
+    lru = LRUCache(100)
+    for key in "abc":
+        lru.put(key, 10)
+    lru.touch("a")
+    assert list(lru) == ["b", "c", "a"]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+    lru = LRUCache(10)
+    with pytest.raises(ValueError):
+        lru.put("a", -1)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.floats(min_value=0, max_value=30),
+        ),
+        max_size=200,
+    )
+)
+@settings(max_examples=100)
+def test_used_bytes_never_exceed_capacity(ops):
+    """Invariant: after any sequence of puts, usage <= capacity and equals
+    the sum of resident entries."""
+    lru = LRUCache(100)
+    for key, size in ops:
+        if size > 100:
+            continue
+        lru.put(key, size)
+        assert lru.used_bytes <= 100 + 1e-9
+        assert lru.used_bytes == pytest.approx(
+            sum(lru.size_of(k) for k in lru)
+        )

@@ -1,0 +1,87 @@
+"""Model-based (stateful) testing of the LRU cache against a reference
+implementation built from a plain list + dict."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.store.lru import LRUCache
+
+CAPACITY = 100.0
+
+
+class _ReferenceLRU:
+    """Straight-line reimplementation used as the oracle."""
+
+    def __init__(self, capacity: float):
+        self.capacity = capacity
+        self.order: list[int] = []  # cold -> hot
+        self.sizes: dict[int, float] = {}
+
+    def touch(self, key: int) -> bool:
+        if key in self.sizes:
+            self.order.remove(key)
+            self.order.append(key)
+            return True
+        return False
+
+    def put(self, key: int, size: float) -> list[int]:
+        if key in self.sizes:
+            self.order.remove(key)
+            del self.sizes[key]
+        evicted = []
+        while sum(self.sizes.values()) + size > self.capacity and self.order:
+            cold = self.order.pop(0)
+            del self.sizes[cold]
+            evicted.append(cold)
+        self.order.append(key)
+        self.sizes[key] = size
+        return evicted
+
+    def remove(self, key: int) -> None:
+        self.order.remove(key)
+        del self.sizes[key]
+
+
+class LRUComparison(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.real = LRUCache(CAPACITY)
+        self.ref = _ReferenceLRU(CAPACITY)
+
+    keys = st.integers(min_value=0, max_value=12)
+    sizes = st.floats(min_value=0.0, max_value=60.0)
+
+    @rule(key=keys, size=sizes)
+    def put(self, key, size):
+        assert self.real.put(key, size) == self.ref.put(key, size)
+
+    @rule(key=keys)
+    def touch(self, key):
+        assert self.real.touch(key) == self.ref.touch(key)
+
+    @rule(key=keys)
+    def remove(self, key):
+        if key in self.ref.sizes:
+            self.real.remove(key)
+            self.ref.remove(key)
+        else:
+            with pytest.raises(KeyError):
+                self.real.remove(key)
+
+    @invariant()
+    def same_contents_and_order(self):
+        assert list(self.real) == self.ref.order
+        assert self.real.used_bytes == pytest.approx(
+            sum(self.ref.sizes.values())
+        )
+        assert self.real.used_bytes <= CAPACITY + 1e-9
+
+
+TestLRUComparison = LRUComparison.TestCase
+TestLRUComparison.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

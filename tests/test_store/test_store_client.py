@@ -1,0 +1,159 @@
+"""Byte-level round trips through the store under every scheme, plus
+eviction/crash recovery via under-store and lineage (Sec. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import Master, StoreClient, Worker
+
+
+def make_store(n_workers=12, capacity=float("inf"), seed=0):
+    master = Master(n_workers, seed=seed)
+    workers = [Worker(i, capacity=capacity) for i in range(n_workers)]
+    return StoreClient(master, workers, seed=seed)
+
+
+def random_bytes(n, seed=0):
+    return bytes(np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8))
+
+
+@given(st.binary(min_size=0, max_size=5000), st.integers(min_value=1, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_partitioned_roundtrip(data, k):
+    client = make_store()
+    client.write(1, data, k=k)
+    assert client.read(1) == data
+
+
+@given(st.binary(min_size=1, max_size=3000))
+@settings(max_examples=30, deadline=None)
+def test_ec_roundtrip(data):
+    client = make_store()
+    client.write_ec(1, data, k=5, n=8)
+    assert client.read(1) == data
+
+
+@given(st.binary(min_size=0, max_size=3000), st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_replicated_roundtrip(data, replicas):
+    client = make_store()
+    client.write_replicated(1, data, replicas=replicas)
+    assert client.read(1) == data
+
+
+def test_partitions_on_distinct_workers():
+    client = make_store()
+    meta = client.write(1, random_bytes(1000), k=7)
+    assert len({loc.worker_id for loc in meta.locations}) == 7
+
+
+def test_reads_update_popularity():
+    client = make_store()
+    client.write(1, b"x" * 100, k=2)
+    for _ in range(5):
+        client.read(1)
+    assert client.master.meta(1).access_count == 5
+
+
+def test_ec_survives_parity_worker_loss():
+    client = make_store()
+    data = random_bytes(2000, seed=1)
+    meta = client.write_ec(1, data, k=4, n=7)
+    # Kill three of the workers holding shards: 4 survive, enough.
+    for loc in meta.locations[:3]:
+        client.workers[loc.worker_id].delete_block(1, loc.index)
+    assert client.read(1) == data
+    assert client.recoveries == 0  # decoded, not recovered
+
+
+def test_replication_survives_replica_loss():
+    client = make_store()
+    data = random_bytes(500, seed=2)
+    meta = client.write_replicated(1, data, replicas=3)
+    for group in meta.replica_groups[:2]:
+        client.workers[group[0].worker_id].delete_block(1, group[0].index)
+    assert client.read(1) == data
+
+
+def test_recovery_from_under_store():
+    client = make_store()
+    data = random_bytes(800, seed=3)
+    client.write(1, data, k=4)
+    client.checkpoint(1)
+    for w in client.workers:
+        w.crash()
+    assert client.read(1) == data
+    assert client.recoveries == 1
+    # Re-cached: the next read hits memory, no new recovery.
+    assert client.read(1) == data
+    assert client.recoveries == 1
+
+
+def test_recovery_via_lineage_recompute():
+    client = make_store()
+    parent = random_bytes(300, seed=4)
+    client.write(1, parent, k=2)
+    client.checkpoint(1)
+    derived = bytes(b ^ 0xFF for b in parent)
+    client.write(2, derived, k=3)
+    client.lineage.register(
+        2, parents=(1,), recompute=lambda ps: bytes(b ^ 0xFF for b in ps[0])
+    )
+    for w in client.workers:
+        w.crash()
+    assert client.read(2) == derived
+    assert client.recoveries >= 1
+
+
+def test_unrecoverable_loss_raises():
+    client = make_store()
+    client.write(1, b"gone", k=2)  # never checkpointed, no lineage
+    for w in client.workers:
+        w.crash()
+    with pytest.raises(KeyError):
+        client.read(1)
+
+
+def test_repartition_preserves_bytes_and_relocates():
+    client = make_store()
+    data = random_bytes(1200, seed=5)
+    client.write(1, data, k=2)
+    meta = client.repartition(1, new_k=6)
+    assert len(meta.locations) == 6
+    assert client.read(1) == data
+
+
+def test_repartition_rejects_non_partitioned():
+    client = make_store()
+    client.write_ec(1, b"x" * 100, k=2, n=4)
+    with pytest.raises(ValueError):
+        client.repartition(1, new_k=3)
+
+
+def test_eviction_then_understore_fallback():
+    """Tiny workers: writing file 2 evicts file 1's blocks; reading file 1
+    falls back to the checkpoint."""
+    client = make_store(n_workers=4, capacity=150)
+    a = random_bytes(400, seed=6)
+    b = random_bytes(400, seed=7)
+    client.write(1, a, k=4)
+    client.checkpoint(1)
+    client.write(2, b, k=4)  # evicts most of file 1
+    client.checkpoint(2)  # both can't be resident at once on 150 B workers
+    assert client.read(1) == a  # recovered from the checkpoint, evicts 2
+    assert client.read(2) == b  # and vice versa
+    assert client.recoveries >= 2
+
+
+def test_write_placement_strategies():
+    client = make_store()
+    client.master.placed_bytes[:] = 0
+    client.master.placed_bytes[0] = 1e9  # server 0 heavily loaded
+    meta = client.write(1, b"y" * 100, k=3, placement="least_loaded")
+    assert 0 not in [loc.worker_id for loc in meta.locations]
+    with pytest.raises(ValueError):
+        client.write(2, b"z", k=1, placement="bogus")

@@ -1,0 +1,106 @@
+"""Model-based testing of the byte store under failure injection.
+
+A random interleaving of writes (all three schemes), reads, repartitions,
+checkpoints, and worker crashes must never corrupt data: every read either
+returns exactly the written bytes or raises ``KeyError`` (lost without a
+checkpoint) — never wrong bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.store import Master, StoreClient, Worker
+
+N_WORKERS = 8
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        master = Master(N_WORKERS, seed=0)
+        self.client = StoreClient(
+            master, [Worker(i) for i in range(N_WORKERS)], seed=0
+        )
+        self.oracle: dict[int, bytes] = {}
+        self.checkpointed: set[int] = set()
+        self.next_id = 0
+        self.rng = np.random.default_rng(1234)
+
+    payloads = st.binary(min_size=1, max_size=400)
+
+    @rule(data=payloads, k=st.integers(min_value=1, max_value=N_WORKERS))
+    def write_plain(self, data, k):
+        self.client.write(self.next_id, data, k=k)
+        self.oracle[self.next_id] = data
+        self.next_id += 1
+
+    @rule(data=payloads)
+    def write_ec(self, data):
+        self.client.write_ec(self.next_id, data, k=3, n=6)
+        self.oracle[self.next_id] = data
+        self.next_id += 1
+
+    @rule(data=payloads, r=st.integers(min_value=1, max_value=3))
+    def write_replicated(self, data, r):
+        self.client.write_replicated(self.next_id, data, replicas=r)
+        self.oracle[self.next_id] = data
+        self.next_id += 1
+
+    def _pick(self):
+        ids = sorted(self.oracle)
+        return ids[self.rng.integers(len(ids))] if ids else None
+
+    @precondition(lambda self: self.oracle)
+    @rule()
+    def read_and_verify(self):
+        fid = self._pick()
+        try:
+            data = self.client.read(fid)
+        except KeyError:
+            # Loss is only legal when the file was never checkpointed.
+            assert fid not in self.checkpointed
+            # Re-write it so the metadata stays consistent for the oracle.
+            del self.oracle[fid]
+            return
+        assert data == self.oracle[fid], "read returned corrupted bytes"
+
+    @precondition(lambda self: self.oracle)
+    @rule()
+    def checkpoint_one(self):
+        fid = self._pick()
+        try:
+            self.client.checkpoint(fid)
+        except KeyError:
+            del self.oracle[fid]
+            return
+        self.checkpointed.add(fid)
+
+    @precondition(lambda self: self.oracle)
+    @rule(new_k=st.integers(min_value=1, max_value=N_WORKERS))
+    def repartition_plain(self, new_k):
+        fid = self._pick()
+        meta = self.client.master.meta(fid)
+        if meta.ec_k is not None or meta.replica_groups:
+            with pytest.raises(ValueError):
+                self.client.repartition(fid, new_k)
+            return
+        try:
+            self.client.repartition(fid, new_k)
+        except KeyError:
+            if fid not in self.checkpointed:
+                del self.oracle[fid]
+
+    @rule(wid=st.integers(min_value=0, max_value=N_WORKERS - 1))
+    def crash_worker(self, wid):
+        self.client.workers[wid].crash()
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

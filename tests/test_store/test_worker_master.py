@@ -1,0 +1,135 @@
+"""Worker block store and master metadata service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.store.master import Master, PartitionLocation
+from repro.store.worker import Worker
+
+
+class TestWorker:
+    def test_put_get_roundtrip(self):
+        w = Worker(0)
+        w.put_block(1, 0, b"hello")
+        assert w.get_block(1, 0) == b"hello"
+        assert w.bytes_served == 5
+        assert w.n_blocks == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            Worker(0).get_block(9, 9)
+
+    def test_capacity_evicts_lru(self):
+        w = Worker(0, capacity=10)
+        w.put_block(1, 0, b"aaaaaa")
+        evicted = w.put_block(2, 0, b"bbbbbb")
+        assert evicted == [(1, 0)]
+        assert (1, 0) not in w
+        assert (2, 0) in w
+
+    def test_get_refreshes_recency(self):
+        w = Worker(0, capacity=12)
+        w.put_block(1, 0, b"aaaa")
+        w.put_block(2, 0, b"bbbb")
+        w.get_block(1, 0)
+        evicted = w.put_block(3, 0, b"cccccc")
+        assert (2, 0) in [tuple(e) for e in evicted]
+        assert (1, 0) in w
+
+    def test_delete_file_drops_all_blocks(self):
+        w = Worker(0)
+        w.put_block(1, 0, b"a")
+        w.put_block(1, 1, b"b")
+        w.put_block(2, 0, b"c")
+        assert w.delete_file(1) == 2
+        assert w.n_blocks == 1
+
+    def test_crash_loses_everything(self):
+        w = Worker(0, capacity=100)
+        w.put_block(1, 0, b"data")
+        w.crash()
+        assert w.n_blocks == 0
+        w.put_block(1, 0, b"data")  # still usable after crash
+        assert w.get_block(1, 0) == b"data"
+
+    def test_used_bytes(self):
+        w = Worker(0, capacity=100)
+        w.put_block(1, 0, b"12345")
+        assert w.used_bytes == 5
+
+
+class TestMaster:
+    def test_register_and_lookup(self):
+        m = Master(5)
+        locs = [PartitionLocation(0, 0), PartitionLocation(3, 1)]
+        meta = m.register_file(7, size=100, locations=locs)
+        assert 7 in m
+        assert meta.k == 2
+        assert meta.worker_ids == [0, 3]
+        assert m.n_files == 1
+
+    def test_duplicate_registration_rejected(self):
+        m = Master(3)
+        m.register_file(1, 10, [PartitionLocation(0, 0)])
+        with pytest.raises(ValueError):
+            m.register_file(1, 10, [PartitionLocation(1, 0)])
+
+    def test_placed_bytes_accounting(self):
+        m = Master(4)
+        m.register_file(1, 100, [PartitionLocation(0, 0), PartitionLocation(1, 1)])
+        assert m.placed_bytes[0] == 50
+        m.unregister_file(1)
+        assert np.all(m.placed_bytes == 0)
+
+    def test_relocate(self):
+        m = Master(4)
+        m.register_file(1, 100, [PartitionLocation(0, 0)])
+        meta = m.relocate_file(1, [PartitionLocation(2, 0), PartitionLocation(3, 1)])
+        assert meta.worker_ids == [2, 3]
+        assert m.placed_bytes[0] == 0
+        assert m.placed_bytes[2] == 50
+
+    def test_random_workers_distinct(self):
+        m = Master(10, seed=1)
+        for _ in range(20):
+            ws = m.choose_random_workers(7)
+            assert len(set(ws)) == 7
+
+    def test_random_workers_too_many(self):
+        with pytest.raises(ValueError):
+            Master(3).choose_random_workers(4)
+
+    def test_least_loaded_workers(self):
+        m = Master(3)
+        m.placed_bytes[:] = [5.0, 1.0, 3.0]
+        assert list(m.choose_least_loaded_workers(2)) == [1, 2]
+
+    def test_popularity_tracking(self):
+        m = Master(3)
+        m.register_file(0, 10, [PartitionLocation(0, 0)])
+        m.register_file(1, 10, [PartitionLocation(1, 0)])
+        for _ in range(3):
+            m.record_access(0)
+        m.record_access(1)
+        ids, sizes, pops = m.popularity_snapshot()
+        assert list(ids) == [0, 1]
+        assert pops[0] == pytest.approx(0.75)
+        m.reset_access_counts()
+        _, _, pops2 = m.popularity_snapshot()
+        assert pops2[0] == pytest.approx(0.5)  # all-zero window -> uniform
+
+    def test_ec_meta_k(self):
+        m = Master(20)
+        locs = [PartitionLocation(i, i) for i in range(14)]
+        meta = m.register_file(1, 1000, locs, ec_k=10, ec_n=14)
+        assert meta.k == 10
+
+    def test_replica_meta_k(self):
+        m = Master(5)
+        groups = [[PartitionLocation(0, 0)], [PartitionLocation(1, 1)]]
+        meta = m.register_file(
+            1, 100, [g[0] for g in groups], replica_groups=groups
+        )
+        assert meta.k == 1

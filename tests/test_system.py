@@ -1,0 +1,106 @@
+"""End-to-end tests of the assembled SP-Cache system (Fig. 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import imbalance_factor
+from repro.common import ClusterSpec, Gbps
+from repro.system import SPCacheSystem
+
+
+def _filled_system(n_files=30, size=50_000, seed=0):
+    system = SPCacheSystem(ClusterSpec(n_servers=12, bandwidth=Gbps), seed=seed)
+    rng = np.random.default_rng(seed)
+    payloads = {}
+    for fid in range(n_files):
+        data = bytes(rng.integers(0, 256, size, dtype=np.uint8))
+        payloads[fid] = data
+        system.write(fid, data)
+    return system, payloads
+
+
+def _zipf_access(system, n_files, n_requests=1500, exponent=1.2, seed=1):
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_files + 1, dtype=float)
+    p = ranks**-exponent
+    p /= p.sum()
+    for fid in rng.choice(n_files, size=n_requests, p=p):
+        system.read(int(fid))
+
+
+def test_writes_land_unsplit():
+    system, _ = _filled_system()
+    assert np.all(system.partition_counts_now() == 1)
+
+
+def test_reads_roundtrip_before_and_after_rebalance():
+    system, payloads = _filled_system()
+    _zipf_access(system, len(payloads))
+    system.rebalance(total_rate=10.0)
+    for fid, data in payloads.items():
+        assert system.read(fid) == data
+
+
+def test_rebalance_partitions_hot_files_more():
+    system, payloads = _filled_system()
+    _zipf_access(system, len(payloads))
+    report = system.rebalance(total_rate=10.0)
+    assert report.n_repartitioned > 0
+    ks = system.partition_counts_now()
+    # File 0 (hottest under Zipf) holds at least as many partitions as the
+    # coldest file, and strictly more than one.
+    assert ks[0] > 1
+    assert ks[0] >= ks[-1]
+
+
+def test_rebalance_improves_placement_balance():
+    system, payloads = _filled_system(n_files=40)
+    _zipf_access(system, 40, n_requests=2500)
+    before = imbalance_factor(system.server_placed_bytes())
+    system.rebalance(total_rate=10.0)
+    after = imbalance_factor(system.server_placed_bytes())
+    assert after <= before + 1e-9
+
+
+def test_second_rebalance_moves_little_when_stationary():
+    """With an unchanged popularity law, round two should touch far fewer
+    files than round one (Fig. 17's logic at the byte level)."""
+    system, payloads = _filled_system(n_files=40)
+    _zipf_access(system, 40, n_requests=2500, seed=1)
+    first = system.rebalance(total_rate=10.0)
+    _zipf_access(system, 40, n_requests=2500, seed=2)  # same law, new window
+    second = system.rebalance(total_rate=10.0)
+    assert second.n_repartitioned <= first.n_repartitioned
+
+
+def test_expected_k_matches_layout_after_rebalance():
+    system, payloads = _filled_system()
+    _zipf_access(system, len(payloads))
+    system.rebalance(total_rate=10.0, reset_window=False)
+    ks = system.partition_counts_now()
+    for fid in (0, 5, len(payloads) - 1):
+        assert system.expected_k(fid, total_rate=10.0) == ks[fid]
+
+
+def test_rebalance_requires_files():
+    system = SPCacheSystem(ClusterSpec(n_servers=4, bandwidth=Gbps))
+    with pytest.raises(RuntimeError):
+        system.rebalance()
+
+
+def test_expected_k_requires_configuration():
+    system, _ = _filled_system(n_files=3)
+    with pytest.raises(RuntimeError):
+        system.expected_k(0)
+
+
+def test_checkpoint_and_crash_recovery_through_system():
+    system, payloads = _filled_system(n_files=5)
+    for fid in payloads:
+        system.checkpoint(fid)
+    for worker in system.workers:
+        worker.crash()
+    for fid, data in payloads.items():
+        assert system.read(fid) == data

@@ -1,0 +1,102 @@
+"""Arrival processes: Poisson statistics, trace invariants, merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import FilePopulation
+from repro.workloads.arrivals import (
+    ArrivalTrace,
+    merge_traces,
+    poisson_arrivals,
+    poisson_trace,
+    sample_file_choices,
+    trace_from_times,
+)
+from repro.workloads.popularity import zipf_popularity
+
+
+def _pop(n=10, rate=5.0):
+    return FilePopulation(
+        sizes=np.full(n, 1e6),
+        popularities=zipf_popularity(n, 1.1),
+        total_rate=rate,
+    )
+
+
+def test_poisson_count_matches_rate():
+    times = poisson_arrivals(rate=50.0, horizon=100.0, seed=0)
+    # 5000 expected; 4 sigma ~ 280.
+    assert 4700 < times.size < 5300
+    assert np.all(times < 100.0)
+    assert np.all(np.diff(times) >= 0)
+
+
+def test_poisson_exact_count():
+    times = poisson_arrivals(rate=2.0, n_requests=137, seed=1)
+    assert times.size == 137
+
+
+def test_poisson_interarrival_mean():
+    times = poisson_arrivals(rate=10.0, n_requests=20000, seed=2)
+    gaps = np.diff(times)
+    assert gaps.mean() == pytest.approx(0.1, rel=0.05)
+
+
+def test_poisson_rejects_bad_args():
+    with pytest.raises(ValueError):
+        poisson_arrivals(rate=0.0, horizon=1.0)
+    with pytest.raises(ValueError):
+        poisson_arrivals(rate=1.0)  # neither horizon nor count
+    with pytest.raises(ValueError):
+        poisson_arrivals(rate=1.0, horizon=1.0, n_requests=5)  # both
+
+
+def test_file_choices_follow_popularity():
+    p = zipf_popularity(5, 1.0)
+    choices = sample_file_choices(p, 50000, seed=3)
+    freq = np.bincount(choices, minlength=5) / 50000
+    assert np.allclose(freq, p, atol=0.01)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        ArrivalTrace(np.array([2.0, 1.0]), np.array([0, 1]))  # unsorted
+    with pytest.raises(ValueError):
+        ArrivalTrace(np.array([-1.0]), np.array([0]))  # negative
+    with pytest.raises(ValueError):
+        ArrivalTrace(np.array([1.0]), np.array([0, 1]))  # misaligned
+
+
+def test_trace_empirical_rate():
+    trace = poisson_trace(_pop(rate=8.0), n_requests=20000, seed=4)
+    assert trace.empirical_rate() == pytest.approx(8.0, rel=0.05)
+
+
+def test_trace_slice_time():
+    trace = poisson_trace(_pop(rate=10.0), horizon=100.0, seed=5)
+    window = trace.slice_time(10.0, 20.0)
+    assert window.n_requests > 0
+    assert window.times[0] >= 0
+    assert window.horizon < 10.0
+
+
+def test_trace_from_times_sorts():
+    pop = _pop()
+    trace = trace_from_times(np.array([3.0, 1.0, 2.0]), pop, seed=6)
+    assert np.array_equal(trace.times, [1.0, 2.0, 3.0])
+
+
+def test_merge_traces_interleaves():
+    pop = _pop()
+    a = poisson_trace(pop, n_requests=100, seed=7)
+    b = poisson_trace(pop, n_requests=100, seed=8)
+    merged = merge_traces([a, b])
+    assert merged.n_requests == 200
+    assert np.all(np.diff(merged.times) >= 0)
+
+
+def test_merge_traces_empty():
+    merged = merge_traces([])
+    assert merged.n_requests == 0

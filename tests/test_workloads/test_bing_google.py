@@ -1,0 +1,78 @@
+"""Straggler profile and bursty-arrival models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.bing import BingStragglerProfile
+from repro.workloads.google import GoogleArrivalModel
+
+
+class TestBingProfile:
+    def test_conditional_factors_at_least_threshold(self):
+        prof = BingStragglerProfile()
+        factors = prof.sample_factors(5000, seed=0)
+        assert factors.min() >= 1.5
+        assert factors.max() <= 12.0
+
+    def test_unconditional_hit_rate(self):
+        prof = BingStragglerProfile(probability=0.05)
+        mult = prof.sample_multipliers(200_000, seed=1)
+        assert (mult > 1.0).mean() == pytest.approx(0.05, abs=0.005)
+
+    def test_disabled_never_slows(self):
+        prof = BingStragglerProfile().disabled()
+        assert np.all(prof.sample_multipliers(1000, seed=2) == 1.0)
+
+    def test_moments_match_empirical(self):
+        prof = BingStragglerProfile(probability=0.05)
+        m1, m2, m3 = prof.moments()
+        mult = prof.sample_multipliers(400_000, seed=3)
+        assert m1 == pytest.approx(mult.mean(), rel=0.02)
+        assert m2 == pytest.approx((mult**2).mean(), rel=0.05)
+        assert m3 == pytest.approx((mult**3).mean(), rel=0.10)
+
+    def test_moments_are_increasing(self):
+        m1, m2, m3 = BingStragglerProfile().moments()
+        assert 1.0 < m1 < m2 < m3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BingStragglerProfile(probability=1.5)
+        with pytest.raises(ValueError):
+            BingStragglerProfile(quantiles=(0.0, 0.5), factors=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            BingStragglerProfile(quantiles=(0.1, 1.0), factors=(1.5, 2.0))
+
+
+class TestGoogleArrivals:
+    def test_long_run_rate_matches(self):
+        model = GoogleArrivalModel()
+        times = model.arrival_times(total_rate=20.0, horizon=2000.0, seed=0)
+        assert times.size == pytest.approx(40_000, rel=0.1)
+
+    def test_sorted_within_horizon(self):
+        times = GoogleArrivalModel().arrival_times(5.0, 100.0, seed=1)
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 100.0
+
+    def test_burstier_than_poisson(self):
+        model = GoogleArrivalModel(burst_ratio=10.0)
+        iod = model.index_of_dispersion(20.0, 3000.0, window=5.0, seed=2)
+        assert iod > 1.5  # Poisson would give ~1
+
+    def test_state_rates_average_to_total(self):
+        model = GoogleArrivalModel(burst_ratio=8.0, burst_fraction=0.2)
+        quiet, bursty = model.state_rates(10.0)
+        avg = 0.8 * quiet + 0.2 * bursty
+        assert avg == pytest.approx(10.0)
+        assert bursty == pytest.approx(8 * quiet)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoogleArrivalModel(burst_ratio=0.5)
+        with pytest.raises(ValueError):
+            GoogleArrivalModel(burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            GoogleArrivalModel().arrival_times(-1.0, 10.0)

@@ -1,0 +1,45 @@
+"""Canned populations and replica-count helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import MB
+from repro.workloads.filesets import paper_fileset, replication_counts_topk
+
+
+def test_paper_fileset_basics():
+    pop = paper_fileset(500, size_mb=100, zipf_exponent=1.05, total_rate=18.0)
+    assert pop.n_files == 500
+    assert np.all(pop.sizes == 100 * MB)
+    assert pop.total_rate == 18.0
+    assert pop.popularities[0] > pop.popularities[-1]
+
+
+def test_paper_fileset_loads_descending():
+    pop = paper_fileset(50, size_mb=40, zipf_exponent=1.1)
+    assert np.all(np.diff(pop.loads) < 0)
+
+
+def test_replication_counts_topk_paper_config():
+    pop = paper_fileset(100, size_mb=100)
+    counts = replication_counts_topk(pop, top_fraction=0.10, replicas=4)
+    assert counts.sum() == 100 - 10 + 10 * 4  # 40% overhead on equal sizes
+    hot = np.argsort(-pop.popularities)[:10]
+    assert np.all(counts[hot] == 4)
+    cold = np.argsort(-pop.popularities)[10:]
+    assert np.all(counts[cold] == 1)
+
+
+def test_replication_counts_zero_fraction():
+    pop = paper_fileset(10, size_mb=1)
+    assert np.all(replication_counts_topk(pop, top_fraction=0.0) == 1)
+
+
+def test_replication_counts_validation():
+    pop = paper_fileset(10, size_mb=1)
+    with pytest.raises(ValueError):
+        replication_counts_topk(pop, top_fraction=1.5)
+    with pytest.raises(ValueError):
+        replication_counts_topk(pop, replicas=0)

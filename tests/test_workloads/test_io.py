@@ -1,0 +1,66 @@
+"""Population/trace persistence round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import paper_fileset, poisson_trace
+from repro.workloads.io import (
+    load_population,
+    load_trace,
+    save_population,
+    save_trace,
+    trace_from_csv,
+    trace_to_csv,
+)
+
+
+def test_population_roundtrip(tmp_path):
+    pop = paper_fileset(50, size_mb=40, zipf_exponent=1.1, total_rate=7.0)
+    path = tmp_path / "pop.npz"
+    save_population(path, pop)
+    back = load_population(path)
+    assert np.array_equal(back.sizes, pop.sizes)
+    assert np.allclose(back.popularities, pop.popularities)
+    assert back.total_rate == 7.0
+
+
+def test_trace_roundtrip_npz(tmp_path):
+    pop = paper_fileset(20, size_mb=10)
+    trace = poisson_trace(pop, n_requests=500, seed=1)
+    path = tmp_path / "trace.npz"
+    save_trace(path, trace)
+    back = load_trace(path)
+    assert np.array_equal(back.times, trace.times)
+    assert np.array_equal(back.file_ids, trace.file_ids)
+
+
+def test_trace_roundtrip_csv(tmp_path):
+    pop = paper_fileset(20, size_mb=10)
+    trace = poisson_trace(pop, n_requests=200, seed=2)
+    path = tmp_path / "trace.csv"
+    trace_to_csv(path, trace)
+    back = trace_from_csv(path)
+    assert np.allclose(back.times, trace.times, atol=1e-8)
+    assert np.array_equal(back.file_ids, trace.file_ids)
+
+
+def test_wrong_magic_rejected(tmp_path):
+    pop = paper_fileset(5, size_mb=1)
+    pop_path = tmp_path / "pop.npz"
+    save_population(pop_path, pop)
+    with pytest.raises(ValueError):
+        load_trace(pop_path)
+    trace = poisson_trace(pop, n_requests=10, seed=0)
+    trace_path = tmp_path / "trace.npz"
+    save_trace(trace_path, trace)
+    with pytest.raises(ValueError):
+        load_population(trace_path)
+
+
+def test_csv_without_header_rejected(tmp_path):
+    bad = tmp_path / "bad.csv"
+    bad.write_text("1,2\n3,4\n")
+    with pytest.raises(ValueError):
+        trace_from_csv(bad)

@@ -1,0 +1,63 @@
+"""Zipf popularity generation and fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.popularity import (
+    shuffled_popularity,
+    zipf_exponent_fit,
+    zipf_popularity,
+)
+
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+@settings(max_examples=80)
+def test_zipf_is_probability_vector(n, exp):
+    p = zipf_popularity(n, exp)
+    assert p.shape == (n,)
+    assert np.all(p > 0)
+    assert p.sum() == pytest.approx(1.0)
+
+
+def test_zipf_descending():
+    p = zipf_popularity(100, 1.05)
+    assert np.all(np.diff(p) < 0)
+
+
+def test_zipf_zero_exponent_uniform():
+    p = zipf_popularity(10, 0.0)
+    assert np.allclose(p, 0.1)
+
+
+def test_zipf_rejects_bad_args():
+    with pytest.raises(ValueError):
+        zipf_popularity(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_popularity(10, -0.5)
+
+
+def test_zipf_exponent_fit_recovers_exponent():
+    for exp in (0.8, 1.05, 1.3):
+        p = zipf_popularity(500, exp)
+        assert zipf_exponent_fit(p) == pytest.approx(exp, abs=0.02)
+
+
+def test_shuffled_popularity_preserves_multiset():
+    p = zipf_popularity(50, 1.1)
+    q = shuffled_popularity(p, seed=3)
+    assert not np.array_equal(p, q)  # overwhelmingly likely
+    assert np.allclose(np.sort(p), np.sort(q))
+
+
+def test_shuffled_popularity_deterministic_with_seed():
+    p = zipf_popularity(50, 1.1)
+    assert np.array_equal(
+        shuffled_popularity(p, seed=5), shuffled_popularity(p, seed=5)
+    )

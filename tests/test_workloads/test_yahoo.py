@@ -1,0 +1,77 @@
+"""Yahoo!-trace generator matches the statistics the paper reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.yahoo import (
+    YahooTraceModel,
+    access_count_buckets,
+    yahoo_file_population,
+)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return YahooTraceModel().sample(60_000, seed=1)
+
+
+def test_cold_fraction_near_paper(sample):
+    counts, _ = sample
+    assert (counts < 10).mean() == pytest.approx(0.78, abs=0.02)
+
+
+def test_hot_fraction_near_paper(sample):
+    counts, _ = sample
+    assert (counts >= 100).mean() == pytest.approx(0.02, abs=0.005)
+
+
+def test_hot_files_are_15_to_30x_larger(sample):
+    counts, sizes = sample
+    ratio = sizes[counts >= 100].mean() / sizes[counts < 10].mean()
+    assert 15 <= ratio <= 30
+
+
+def test_counts_are_positive_integers(sample):
+    counts, _ = sample
+    assert counts.dtype.kind == "i"
+    assert counts.min() >= 1
+
+
+def test_sizes_positive(sample):
+    _, sizes = sample
+    assert np.all(sizes > 0)
+
+
+def test_access_count_buckets_partition_everything(sample):
+    counts, sizes = sample
+    buckets = access_count_buckets(counts, sizes)
+    assert sum(b["fraction"] for b in buckets) == pytest.approx(1.0)
+    assert [b["bucket"] for b in buckets] == ["[1,10)", "[10,100)", ">=100"]
+
+
+def test_access_count_buckets_misaligned_raises():
+    with pytest.raises(ValueError):
+        access_count_buckets(np.array([1, 2]), np.array([1.0]))
+
+
+def test_model_validates_fractions():
+    with pytest.raises(ValueError):
+        YahooTraceModel(cold_fraction=0.99, hot_fraction=0.02)
+    with pytest.raises(ValueError):
+        YahooTraceModel(hot_size_ratio=2.0, warm_size_ratio=5.0)
+
+
+def test_yahoo_population_larger_files_more_popular():
+    pop = yahoo_file_population(500, total_rate=10.0, seed=2)
+    order = np.argsort(-pop.popularities)
+    sizes_by_popularity = pop.sizes[order]
+    # Spearman-style check: popularity rank order equals size rank order.
+    assert np.all(np.diff(sizes_by_popularity) <= 0)
+
+
+def test_yahoo_population_rate():
+    pop = yahoo_file_population(100, total_rate=7.5, seed=0)
+    assert pop.total_rate == 7.5
+    assert pop.n_files == 100
