@@ -25,6 +25,11 @@ Packages
 ``repro.cluster``
     Discrete-event cluster simulator (FIFO M/G/1 and processor-sharing
     engines), goodput and straggler models, metrics.
+``repro.obs``
+    Observability layer: process-wide metrics registry (counters, gauges,
+    streaming histograms), structured event tracing with JSONL/ring-buffer
+    sinks, wall-clock profiling hooks, and trace replay (per-server load
+    reconstruction).  Schema in ``docs/observability.md``.
 ``repro.policies``
     SP-Cache plus every baseline: EC-Cache, selective replication, simple
     partition, fixed-size chunking, single copy.
@@ -38,6 +43,7 @@ Packages
     Runners that regenerate every table and figure of the evaluation.
 """
 
+from repro import obs
 from repro.cluster import (
     GoodputModel,
     SimulationConfig,
@@ -98,6 +104,7 @@ __all__ = [
     "SingleCopyPolicy",
     "StragglerInjector",
     "imbalance_factor",
+    "obs",
     "optimal_scale_factor",
     "paper_fileset",
     "partition_counts",

@@ -9,15 +9,27 @@ Subcommands
     ``examples/quickstart.py``).
 ``configure``
     Run the scale-factor search and show the resulting partition layout.
+``trace``
+    Run scheme(s) with structured tracing enabled and write the JSONL
+    event stream (schema in ``docs/observability.md``).
+``stats``
+    Replay a JSONL trace into per-server load vectors, an optional load
+    timeline, and a per-scheme summary table.
 ``experiments``
     Regenerate evaluation tables (thin wrapper over
     ``repro.experiments.run_all``).
+
+``simulate`` and ``compare`` accept ``--seed`` (reproducible runs),
+``--json`` (machine-parseable output), and ``--trace PATH`` (record the
+run's event stream while still printing the usual table).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -31,6 +43,16 @@ from repro.cluster import (
 from repro.common import MB, ClusterSpec, Gbps
 from repro.core import optimal_scale_factor, partition_counts
 from repro.cluster.network import GoodputModel
+from repro.obs import (
+    FileSink,
+    Tracer,
+    event_counts,
+    load_events,
+    load_timeline,
+    per_server_loads,
+    trace_summary,
+    use_tracer,
+)
 from repro.policies import (
     ECCachePolicy,
     FixedChunkingPolicy,
@@ -104,9 +126,51 @@ def _simulate_one(pop, cluster, scheme, args):
     return policy, result, summary
 
 
+@contextmanager
+def _maybe_trace(path: str | None):
+    """Install a JSONL file tracer for the block when ``path`` is given."""
+    if not path:
+        yield None
+        return
+    sink = FileSink(path)
+    try:
+        with use_tracer(Tracer(sink)):
+            yield sink
+    finally:
+        sink.close()
+
+
+def _print_rows(rows, args, title: str) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(rows, indent=2))
+    else:
+        print(format_table(rows, title=title))
+
+
 def _cmd_simulate(args) -> int:
     pop, cluster = _workload(args)
-    policy, result, summary = _simulate_one(pop, cluster, args.scheme, args)
+    with _maybe_trace(args.trace) as sink:
+        policy, result, summary = _simulate_one(pop, cluster, args.scheme, args)
+    if sink is not None:
+        print(
+            f"trace: {sink.n_records} events -> {sink.path}", file=sys.stderr
+        )
+    if args.json:
+        record = {
+            "scheme": policy.name,
+            "seed": args.seed,
+            "requests": result.n_requests,
+            "mean_s": summary.mean,
+            "p50_s": summary.p50,
+            "p95_s": summary.p95,
+            "p99_s": summary.p99,
+            "cv": summary.cv,
+            "eta": imbalance_factor(result.server_bytes),
+            "mem_overhead_pct": policy.memory_overhead() * 100,
+            "metrics": result.metrics,
+        }
+        print(json.dumps(record, indent=2))
+        return 0
     rows = [
         {"metric": "scheme", "value": policy.name},
         {"metric": "mean latency (s)", "value": summary.mean},
@@ -122,23 +186,29 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_compare(args) -> int:
     pop, cluster = _workload(args)
-    rows = []
-    for scheme in args.schemes.split(","):
-        scheme = scheme.strip()
+    schemes = [s.strip() for s in args.schemes.split(",")]
+    for scheme in schemes:
         if scheme not in _SCHEMES:
             print(f"unknown scheme {scheme!r}", file=sys.stderr)
             return 2
-        policy, result, summary = _simulate_one(pop, cluster, scheme, args)
-        rows.append(
-            {
-                "scheme": policy.name,
-                "mean_s": summary.mean,
-                "p95_s": summary.p95,
-                "eta": imbalance_factor(result.server_bytes),
-                "mem_overhead_pct": policy.memory_overhead() * 100,
-            }
+    rows = []
+    with _maybe_trace(args.trace) as sink:
+        for scheme in schemes:
+            policy, result, summary = _simulate_one(pop, cluster, scheme, args)
+            rows.append(
+                {
+                    "scheme": policy.name,
+                    "mean_s": summary.mean,
+                    "p95_s": summary.p95,
+                    "eta": imbalance_factor(result.server_bytes),
+                    "mem_overhead_pct": policy.memory_overhead() * 100,
+                }
+            )
+    if sink is not None:
+        print(
+            f"trace: {sink.n_records} events -> {sink.path}", file=sys.stderr
         )
-    print(format_table(rows, title=f"compare @ rate {args.rate}"))
+    _print_rows(rows, args, title=f"compare @ rate {args.rate}")
     return 0
 
 
@@ -166,6 +236,105 @@ def _cmd_configure(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run scheme(s) with a JSONL file sink installed, then summarize."""
+    pop, cluster = _workload(args)
+    schemes = [s.strip() for s in args.schemes.split(",")]
+    for scheme in schemes:
+        if scheme not in _SCHEMES:
+            print(f"unknown scheme {scheme!r}", file=sys.stderr)
+            return 2
+    sink = FileSink(args.out)
+    try:
+        with use_tracer(Tracer(sink)):
+            for scheme in schemes:
+                _simulate_one(pop, cluster, scheme, args)
+    finally:
+        sink.close()
+    rows = trace_summary(args.out)
+    print(
+        format_table(
+            rows, title=f"traced {sink.n_records} events -> {args.out}"
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Replay a JSONL trace into load vectors and a summary table."""
+    if args.timeline < 0:
+        print("--timeline must be a positive bucket count", file=sys.stderr)
+        return 2
+    try:
+        events = load_events(args.tracefile)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.tracefile}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"{args.tracefile} is not a JSONL trace ({exc.msg})",
+            file=sys.stderr,
+        )
+        return 2
+    summary_rows = trace_summary(events)
+    if not summary_rows:
+        print("no read events in trace", file=sys.stderr)
+        return 1
+
+    payload = {"summary": summary_rows}
+    if not args.json:
+        _print_rows(summary_rows, args, title=f"stats: {args.tracefile}")
+
+    if args.per_server:
+        loads = per_server_loads(events)
+        server_rows = []
+        for scheme in sorted(loads):
+            for sid, served in enumerate(loads[scheme]):
+                server_rows.append(
+                    {"scheme": scheme, "server": sid, "bytes": float(served)}
+                )
+        payload["per_server"] = server_rows
+        if not args.json:
+            print()
+            _print_rows(server_rows, args, title="per-server load")
+
+    if args.timeline:
+        timeline_rows = []
+        for scheme, (edges, loads) in sorted(
+            load_timeline(events, n_buckets=args.timeline).items()
+        ):
+            running = np.cumsum(loads, axis=0)
+            for b in range(loads.shape[0]):
+                bucket_loads = loads[b]
+                timeline_rows.append(
+                    {
+                        "scheme": scheme,
+                        "t_start": float(edges[b]),
+                        "t_end": float(edges[b + 1]),
+                        "bytes": float(bucket_loads.sum()),
+                        "busiest_server": int(np.argmax(bucket_loads)),
+                        "eta_so_far": imbalance_factor(running[b]),
+                    }
+                )
+        payload["timeline"] = timeline_rows
+        if not args.json:
+            print()
+            _print_rows(timeline_rows, args, title="load timeline")
+
+    counts = event_counts(events)
+    payload["events"] = counts
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print()
+        _print_rows(
+            [{"event": k, "count": v} for k, v in counts.items()],
+            args,
+            title="event counts",
+        )
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.run_all import main as run_all_main
 
@@ -187,6 +356,13 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument(
         "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
     )
+    p_sim.add_argument(
+        "--json", action="store_true", help="machine-parseable JSON output"
+    )
+    p_sim.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also record a JSONL event trace to PATH",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="race several schemes")
@@ -196,12 +372,48 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument(
         "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
     )
+    p_cmp.add_argument(
+        "--json", action="store_true", help="machine-parseable JSON output"
+    )
+    p_cmp.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also record a JSONL event trace to PATH",
+    )
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_cfg = sub.add_parser("configure", help="run the scale-factor search")
     _add_workload_args(p_cfg)
     p_cfg.add_argument("--mode", choices=("paper", "sweep"), default="sweep")
     p_cfg.set_defaults(func=_cmd_configure)
+
+    p_trc = sub.add_parser(
+        "trace", help="run scheme(s) with tracing on, write a JSONL trace"
+    )
+    _add_workload_args(p_trc)
+    p_trc.add_argument("--schemes", default="sp")
+    p_trc.add_argument("--requests", type=int, default=3000)
+    p_trc.add_argument(
+        "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
+    )
+    p_trc.add_argument("--out", required=True, metavar="PATH")
+    p_trc.set_defaults(func=_cmd_trace)
+
+    p_sts = sub.add_parser(
+        "stats", help="replay a JSONL trace into load vectors and tables"
+    )
+    p_sts.add_argument("tracefile", metavar="TRACE.jsonl")
+    p_sts.add_argument(
+        "--timeline", type=int, default=0, metavar="N",
+        help="also print an N-bucket per-server load timeline",
+    )
+    p_sts.add_argument(
+        "--per-server", action="store_true", dest="per_server",
+        help="also print the reconstructed per-server byte loads",
+    )
+    p_sts.add_argument(
+        "--json", action="store_true", help="machine-parseable JSON output"
+    )
+    p_sts.set_defaults(func=_cmd_stats)
 
     p_exp = sub.add_parser("experiments", help="regenerate evaluation tables")
     p_exp.add_argument("--only", default=None)

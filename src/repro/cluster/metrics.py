@@ -45,10 +45,17 @@ class LatencySummary:
 
 
 def summarize_latencies(latencies: np.ndarray) -> LatencySummary:
-    """Mean, percentiles, and CV of a latency sample."""
+    """Mean, percentiles, and CV of a latency sample.
+
+    Rejects empty samples and any non-finite entry (NaN or inf): a NaN
+    would otherwise propagate silently through every statistic, and a NaN
+    latency always signals an upstream bug, never a slow read.
+    """
     lat = np.asarray(latencies, dtype=np.float64)
     if lat.size == 0:
         raise ValueError("empty latency sample")
+    if not np.all(np.isfinite(lat)):
+        raise ValueError("latencies must be finite (no NaN/inf)")
     if np.any(lat < 0):
         raise ValueError("latencies must be non-negative")
     p50, p95, p99 = np.percentile(lat, [50, 95, 99])
@@ -63,10 +70,22 @@ def summarize_latencies(latencies: np.ndarray) -> LatencySummary:
 
 
 def coefficient_of_variation(sample: np.ndarray) -> float:
-    """Standard deviation over mean (Tables 1-3's CV)."""
+    """Standard deviation over mean (Tables 1-3's CV).
+
+    Edge-case contract (shared with :func:`imbalance_factor`):
+
+    * **empty** sample — ``ValueError``: there is no statistic to report
+      and silently returning a number would hide a broken pipeline;
+    * **all-zero** sample — ``0.0``: a constant sample has zero dispersion,
+      and zero load means perfectly (if trivially) balanced;
+    * **non-finite** entries — ``ValueError``: NaN/inf never describe a
+      real measurement here.
+    """
     sample = np.asarray(sample, dtype=np.float64)
     if sample.size == 0:
         raise ValueError("empty sample")
+    if not np.all(np.isfinite(sample)):
+        raise ValueError("sample must be finite (no NaN/inf)")
     mean = sample.mean()
     if mean == 0:
         return 0.0
@@ -74,10 +93,17 @@ def coefficient_of_variation(sample: np.ndarray) -> float:
 
 
 def imbalance_factor(server_loads: np.ndarray) -> float:
-    """``eta = (L_max - L_avg) / L_avg`` (Eq. 15); lower is better."""
+    """``eta = (L_max - L_avg) / L_avg`` (Eq. 15); lower is better.
+
+    Follows the same edge-case contract as
+    :func:`coefficient_of_variation`: empty or non-finite loads raise
+    ``ValueError``; an all-zero load vector yields ``0.0``.
+    """
     loads = np.asarray(server_loads, dtype=np.float64)
     if loads.size == 0:
         raise ValueError("empty load vector")
+    if not np.all(np.isfinite(loads)):
+        raise ValueError("server loads must be finite (no NaN/inf)")
     avg = loads.mean()
     if avg == 0:
         return 0.0

@@ -38,6 +38,8 @@ import heapq
 import numpy as np
 
 from repro.common import ClusterSpec, make_rng
+from repro.obs import events as ev
+from repro.obs.tracing import get_tracer
 from repro.store.lru import LRUCache
 from repro.workloads.arrivals import ArrivalTrace
 
@@ -54,6 +56,8 @@ def _notify(
     req_miss,
     latencies,
     config,
+    tracer=None,
+    scheme="",
 ) -> None:
     """One partition read reported complete to request ``j``'s join."""
     req_remaining[j] -= 1
@@ -64,6 +68,15 @@ def _notify(
         if req_miss[j]:
             latency *= config.miss_penalty
         latencies[j] = latency
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                ev.READ_DONE,
+                ts=t,
+                req=j,
+                scheme=scheme,
+                file_id=int(trace.file_ids[j]),
+                latency=float(latency),
+            )
 
 
 def simulate_reads_ps(trace, planner, cluster, config):
@@ -73,11 +86,20 @@ def simulate_reads_ps(trace, planner, cluster, config):
     :func:`repro.cluster.simulation.simulate_reads`.
     """
     # Imported here: simulation.py imports this module's entry point.
-    from repro.cluster.simulation import SimulationConfig, SimulationResult
+    from repro.cluster.simulation import (
+        SimulationConfig,
+        SimulationResult,
+        planner_name,
+        record_run_metrics,
+    )
 
     assert isinstance(trace, ArrivalTrace)
     assert isinstance(cluster, ClusterSpec)
     config = config or SimulationConfig()
+    tracer = config.tracer if config.tracer is not None else get_tracer()
+    emit = tracer.enabled
+    scheme = planner_name(planner)
+    straggler_reads = 0
     rng = make_rng(config.seed)
     bandwidths = cluster.bandwidths
     client_bw = cluster.effective_client_bandwidth
@@ -161,6 +183,7 @@ def simulate_reads_ps(trace, planner, cluster, config):
                     sizes[pos] /= goodput.factor(k, b)
             if exponential:
                 sizes *= rng.exponential(1.0, size=k)
+            straggled = False
             if injector.enabled:
                 mult = injector.multipliers(
                     op.server_ids, straggler_mask=straggler_mask, seed=rng
@@ -168,6 +191,8 @@ def simulate_reads_ps(trace, planner, cluster, config):
                 extra = (mult - 1.0) * (
                     op.sizes / bandwidths[op.server_ids]
                 )
+                straggled = bool(np.any(extra > 0.0))
+                straggler_reads += straggled
             else:
                 extra = np.zeros(k)
             req_remaining[j] = op.join_count
@@ -198,6 +223,18 @@ def simulate_reads_ps(trace, planner, cluster, config):
                 server_flows[sid].add(fid)
                 request_flows[j].add(fid)
                 server_bytes[sid] += op.sizes[pos]
+            if emit:
+                tracer.event(
+                    ev.READ,
+                    ts=float(t),
+                    req=j,
+                    scheme=scheme,
+                    file_id=fid0,
+                    servers=[int(s) for s in op.server_ids],
+                    sizes=[float(b) for b in op.sizes],
+                    straggler=straggled,
+                    miss=bool(req_miss[j]),
+                )
             # Existing flows on touched servers lose share; bring them to t
             # first, then recompute every rate under the new memberships.
             for fid in affected:
@@ -232,6 +269,8 @@ def simulate_reads_ps(trace, planner, cluster, config):
                     req_miss,
                     latencies,
                     config,
+                    tracer,
+                    scheme,
                 )
 
             affected = server_flows[sid] | request_flows[j]
@@ -252,11 +291,24 @@ def simulate_reads_ps(trace, planner, cluster, config):
                 req_miss,
                 latencies,
                 config,
+                tracer,
+                scheme,
             )
 
     if np.isnan(latencies).any():  # pragma: no cover - engine invariant
         raise AssertionError("some requests never completed")
 
+    metrics = record_run_metrics(
+        scheme=scheme,
+        engine="ps",
+        server_bytes=server_bytes,
+        latencies=latencies,
+        hits=hits,
+        misses=misses,
+        straggler_reads=straggler_reads,
+        tracer=tracer,
+        end_ts=float(trace.times[-1]) if n_requests else 0.0,
+    )
     return SimulationResult(
         latencies=latencies,
         arrival_times=trace.times.copy(),
@@ -265,4 +317,5 @@ def simulate_reads_ps(trace, planner, cluster, config):
         hits=hits,
         misses=misses,
         config=config,
+        metrics=metrics,
     )

@@ -31,14 +31,73 @@ from typing import Literal
 import numpy as np
 
 from repro.cluster.client import ReadOp, ReadPlanner
-from repro.cluster.metrics import LatencySummary, summarize_latencies
+from repro.cluster.metrics import (
+    LatencySummary,
+    imbalance_factor,
+    summarize_latencies,
+)
 from repro.cluster.network import GoodputModel
 from repro.cluster.stragglers import StragglerInjector
 from repro.common import ClusterSpec, make_rng
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import Tracer, get_tracer
 from repro.store.lru import LRUCache
 from repro.workloads.arrivals import ArrivalTrace
 
 __all__ = ["SimulationConfig", "SimulationResult", "simulate_reads"]
+
+
+def planner_name(planner: object) -> str:
+    """Scheme label used on trace events and metric labels."""
+    return str(getattr(planner, "name", type(planner).__name__))
+
+
+def record_run_metrics(
+    *,
+    scheme: str,
+    engine: str,
+    server_bytes: np.ndarray,
+    latencies: np.ndarray,
+    hits: int,
+    misses: int,
+    straggler_reads: int,
+    tracer: Tracer,
+    end_ts: float,
+) -> dict[str, float | int | str]:
+    """End-of-run accounting shared by both engines.
+
+    Pushes run aggregates into the process-wide registry (labelled by
+    ``scheme``/``engine``; per-server bytes labelled by ``server_id``),
+    emits one ``simulation_end`` event when tracing, and returns the
+    snapshot stored on :attr:`SimulationResult.metrics`.
+    """
+    metrics: dict[str, float | int | str] = {
+        "scheme": scheme,
+        "engine": engine,
+        "n_servers": int(server_bytes.size),
+        "requests": int(latencies.size),
+        "hits": int(hits),
+        "misses": int(misses),
+        "bytes_served": float(server_bytes.sum()),
+        "imbalance_eta": imbalance_factor(server_bytes),
+        "straggler_reads": int(straggler_reads),
+    }
+    reg = get_registry()
+    lab = {"scheme": scheme, "engine": engine}
+    reg.counter("sim.requests", **lab).inc(latencies.size)
+    reg.counter("sim.hits", **lab).inc(hits)
+    reg.counter("sim.misses", **lab).inc(misses)
+    reg.counter("sim.bytes_served", **lab).inc(metrics["bytes_served"])
+    reg.counter("sim.straggler_reads", **lab).inc(straggler_reads)
+    reg.histogram("sim.latency_seconds", **lab).observe_many(latencies)
+    for sid, served in enumerate(server_bytes):
+        reg.counter(
+            "sim.server_bytes", scheme=scheme, server_id=sid
+        ).inc(float(served))
+    if tracer.enabled:
+        tracer.event(ev.SIMULATION_END, ts=end_ts, **metrics)
+    return metrics
 
 
 @dataclass(frozen=True)
@@ -50,6 +109,9 @@ class SimulationConfig:
     assumes, validated exactly by the fast engine here); ``"ps"`` is
     processor sharing (parallel TCP streams splitting the NIC — how the
     EC2 testbed actually behaves; see :mod:`repro.cluster.ps_engine`).
+
+    ``tracer`` overrides the process-wide tracer for this run (``None``
+    means use :func:`repro.obs.get_tracer`, a no-op unless installed).
     """
 
     discipline: Literal["fifo", "ps"] = "ps"
@@ -60,6 +122,7 @@ class SimulationConfig:
     cache_budget: float | None = None  # cluster-wide bytes; None = unbounded
     miss_penalty: float = 3.0
     warmup_fraction: float = 0.1
+    tracer: Tracer | None = None
 
     def __post_init__(self) -> None:
         if self.cache_budget is not None and self.cache_budget <= 0:
@@ -81,6 +144,9 @@ class SimulationResult:
     hits: int
     misses: int
     config: SimulationConfig
+    #: End-of-run observability snapshot (requests, hits/misses, bytes,
+    #: imbalance eta, straggler reads) — what ``simulation_end`` carries.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def n_requests(self) -> int:
@@ -138,6 +204,11 @@ def simulate_reads(
     if config.cache_budget is not None:
         lru = LRUCache(config.cache_budget)
 
+    tracer = config.tracer if config.tracer is not None else get_tracer()
+    emit = tracer.enabled  # hoisted: disabled tracing costs one bool check
+    scheme = planner_name(planner)
+    straggler_reads = 0
+
     # Memoize goodput factors: parallelism is a small integer and bandwidth
     # comes from a short array, so this avoids one interpolation per request.
     factor_memo: dict[tuple[int, float], float] = {}
@@ -181,11 +252,14 @@ def simulate_reads(
         # read's completion is delayed without occupying the NIC — the
         # fork-join sees the late time, the queue does not.
         reported = completion
+        straggled = False
         if injector.enabled:
             mult = injector.multipliers(
                 servers, straggler_mask=straggler_mask, seed=rng
             )
             reported = completion + (mult - 1.0) * (op.sizes / bw)
+            straggled = bool(np.any(mult > 1.0))
+            straggler_reads += straggled
 
         if op.join_count < reported.size:
             join_at = np.partition(reported, op.join_count - 1)[
@@ -195,15 +269,51 @@ def simulate_reads(
             join_at = reported.max()
         latency = (join_at - t) * (1.0 + op.post_fraction) + op.post_seconds
 
+        missed = False
         if lru is not None:
             if lru.touch(fid):
                 hits += 1
             else:
                 misses += 1
+                missed = True
                 latency *= config.miss_penalty
                 lru.put(fid, planner.footprint(fid))
         latencies[j] = latency
 
+        if emit:
+            tracer.event(
+                ev.READ,
+                ts=float(t),
+                req=j,
+                scheme=scheme,
+                file_id=fid,
+                servers=[int(s) for s in servers],
+                sizes=[float(b) for b in op.sizes],
+                queue_wait=float(np.max(start - t)),
+                service=float(np.max(service)),
+                straggler=straggled,
+                miss=missed,
+            )
+            tracer.event(
+                ev.READ_DONE,
+                ts=float(t + latency),
+                req=j,
+                scheme=scheme,
+                file_id=fid,
+                latency=float(latency),
+            )
+
+    metrics = record_run_metrics(
+        scheme=scheme,
+        engine="fifo",
+        server_bytes=server_bytes,
+        latencies=latencies,
+        hits=hits,
+        misses=misses,
+        straggler_reads=straggler_reads,
+        tracer=tracer,
+        end_ts=float(times[-1]) if n_requests else 0.0,
+    )
     return SimulationResult(
         latencies=latencies,
         arrival_times=times.copy(),
@@ -212,4 +322,5 @@ def simulate_reads(
         hits=hits,
         misses=misses,
         config=config,
+        metrics=metrics,
     )

@@ -27,6 +27,9 @@ from typing import Literal
 import numpy as np
 
 from repro.common import ClusterSpec, FilePopulation
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 
 __all__ = ["AdjustOp", "OnlineAdjuster"]
 
@@ -136,10 +139,22 @@ class OnlineAdjuster:
             ops.append(
                 AdjustOp(int(i), "merge", int(self.ks[i]), new_k, moved)
             )
+        n_split = sum(1 for op in ops if op.action == "split")
+        get_registry().counter("core.adjust.ops_planned").inc(len(ops))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.ADJUST_PLAN,
+                n_ops=len(ops),
+                n_split=n_split,
+                n_merge=len(ops) - n_split,
+                window_fill=len(self._recent),
+            )
         return ops
 
     def apply(self, ops: list[AdjustOp]) -> None:
         """Commit a plan (the data plane's work is accounted, not moved)."""
+        moved = 0.0
         for op in ops:
             if self.ks[op.file_id] != op.old_k:
                 raise ValueError(
@@ -148,7 +163,14 @@ class OnlineAdjuster:
                 )
             self.ks[op.file_id] = op.new_k
             self.total_moved_bytes += op.moved_bytes
+            moved += op.moved_bytes
             self.ops_applied += 1
+        reg = get_registry()
+        reg.counter("core.adjust.ops_applied").inc(len(ops))
+        reg.counter("core.adjust.moved_bytes").inc(moved)
+        tracer = get_tracer()
+        if ops and tracer.enabled:
+            tracer.event(ev.ADJUST_APPLY, n_ops=len(ops), moved_bytes=moved)
 
     def step(self) -> list[AdjustOp]:
         """Plan and apply one round; returns what was done."""

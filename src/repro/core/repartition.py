@@ -26,6 +26,10 @@ from repro.common import ClusterSpec, FilePopulation, make_rng
 from repro.core.placement import placement_server_loads
 from repro.core.scale_factor import optimal_scale_factor
 from repro.core.partitioner import partition_counts
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.profiling import profiled
+from repro.obs.tracing import get_tracer
 
 __all__ = [
     "RepartitionPlan",
@@ -77,6 +81,34 @@ def plan_repartition(
     if old_ks.shape != (n,) or len(old_servers_of) != n:
         raise ValueError("old layout must cover every file")
 
+    with profiled("repartition_plan"):
+        plan = _plan_repartition(
+            population, cluster, old_ks, old_servers_of, alpha, rng
+        )
+    reg = get_registry()
+    reg.counter("core.repartition.plans").inc()
+    reg.counter("core.repartition.files_changed").inc(plan.n_changed)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            ev.REPARTITION_PLAN,
+            n_files=n,
+            n_changed=plan.n_changed,
+            changed_fraction=plan.changed_fraction,
+            alpha=plan.alpha,
+        )
+    return plan
+
+
+def _plan_repartition(
+    population: FilePopulation,
+    cluster: ClusterSpec,
+    old_ks: np.ndarray,
+    old_servers_of: list[np.ndarray],
+    alpha: float | None,
+    rng: np.random.Generator,
+) -> RepartitionPlan:
+    n = population.n_files
     if alpha is None:
         alpha = optimal_scale_factor(population, cluster, seed=rng).alpha
     new_ks = partition_counts(population, alpha, n_servers=cluster.n_servers)
@@ -155,7 +187,20 @@ def repartition_time_parallel(
             population.sizes[i], int(old_ks[i]), int(plan.new_ks[i]), True
         )
     times = per_server / cluster.bandwidths
-    return float(times.max()) if times.size else 0.0
+    seconds = float(times.max()) if times.size else 0.0
+    total_bytes = float(per_server.sum())
+    get_registry().counter(
+        "core.repartition.moved_bytes", mode="parallel"
+    ).inc(total_bytes)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            ev.REPARTITION_TIME,
+            mode="parallel",
+            seconds=seconds,
+            moved_bytes=total_bytes,
+        )
+    return seconds
 
 
 def repartition_time_sequential(
@@ -173,4 +218,17 @@ def repartition_time_sequential(
     bw = float(cluster.bandwidths[0])
     # Collect the whole file, then push every new partition back out: each
     # file crosses the master's NIC twice.
-    return float(2.0 * population.sizes.sum() / bw)
+    total_bytes = float(2.0 * population.sizes.sum())
+    seconds = total_bytes / bw
+    get_registry().counter(
+        "core.repartition.moved_bytes", mode="sequential"
+    ).inc(total_bytes)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            ev.REPARTITION_TIME,
+            mode="sequential",
+            seconds=seconds,
+            moved_bytes=total_bytes,
+        )
+    return seconds

@@ -10,6 +10,7 @@ the elbow without ever modelling the overhead side.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +20,9 @@ from repro.common import ClusterSpec, FilePopulation, make_rng
 from repro.core.latency_model import ForkJoinModel
 from repro.core.partitioner import partition_counts
 from repro.core.placement import extend_placement, place_partitions_random
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 
 __all__ = ["ScaleFactorSearch", "optimal_scale_factor"]
 
@@ -103,6 +107,8 @@ def optimal_scale_factor(
     l_max = float(population.loads.max())
     alpha = cluster.n_servers * initial_partitions_fraction / l_max
 
+    tracer = get_tracer()
+    wall_start = time.perf_counter()
     trajectory: list[tuple[float, float]] = []
     prev_bound = np.inf
     prev_ks: np.ndarray | None = None
@@ -117,6 +123,14 @@ def optimal_scale_factor(
             )
         bound = model.evaluate(ks, servers_of).mean_bound
         trajectory.append((alpha, bound))
+        if tracer.enabled:
+            tracer.event(
+                ev.SCALE_ITER,
+                iteration=len(trajectory),
+                alpha=float(alpha),
+                bound=float(bound),
+                max_k=int(ks.max()),
+            )
 
         if mode == "paper" and np.isfinite(bound) and np.isfinite(prev_bound):
             if abs(bound - prev_bound) <= improvement_threshold * prev_bound:
@@ -144,6 +158,21 @@ def optimal_scale_factor(
         best_alpha, best_bound = min(finite, key=lambda ab: ab[1])
     else:
         best_alpha, best_bound = trajectory[0]
+
+    elapsed = time.perf_counter() - wall_start
+    reg = get_registry()
+    reg.counter("core.scale_search.runs", mode=mode).inc()
+    reg.counter("core.scale_search.iterations", mode=mode).inc(len(trajectory))
+    reg.histogram("core.scale_search.seconds", mode=mode).observe(elapsed)
+    if tracer.enabled:
+        tracer.event(
+            ev.SCALE_SEARCH,
+            mode=mode,
+            iterations=len(trajectory),
+            alpha=float(best_alpha),
+            bound=float(best_bound),
+            wall_s=elapsed,
+        )
     return ScaleFactorSearch(
         alpha=best_alpha, bound=best_bound, trajectory=trajectory
     )

@@ -1,0 +1,76 @@
+"""Observability layer: metrics registry, event tracing, trace replay.
+
+Three cooperating pieces (each documented in its module, schema tables in
+``docs/observability.md``):
+
+:mod:`repro.obs.metrics`
+    Always-on process-wide registry of labelled counters, gauges, and
+    streaming histograms.  ``reset_registry()`` between tests.
+:mod:`repro.obs.tracing`
+    Opt-in structured events and wall-clock spans over a sink — no-op
+    (default), in-memory ring buffer, or JSONL file.  Instrumented hot
+    paths check ``tracer.enabled`` once, so disabled tracing is free.
+:mod:`repro.obs.replay`
+    Turn a JSONL trace back into per-server load vectors, load timelines,
+    and latency samples — what ``python -m repro stats`` prints.
+
+:mod:`repro.obs.profiling` adds ``profiled("name")`` wall-time hooks and
+:mod:`repro.obs.events` pins the event-name vocabulary.
+"""
+
+from repro.obs import events
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.profiling import profile, profiled
+from repro.obs.replay import (
+    event_counts,
+    iter_trace,
+    latency_samples,
+    load_events,
+    load_timeline,
+    per_server_loads,
+    trace_summary,
+)
+from repro.obs.tracing import (
+    FileSink,
+    NullSink,
+    RingBufferSink,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "FileSink",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSink",
+    "RingBufferSink",
+    "Tracer",
+    "event_counts",
+    "events",
+    "get_registry",
+    "get_tracer",
+    "iter_trace",
+    "latency_samples",
+    "load_events",
+    "load_timeline",
+    "per_server_loads",
+    "profile",
+    "profiled",
+    "reset_registry",
+    "set_registry",
+    "set_tracer",
+    "trace_summary",
+    "use_tracer",
+]

@@ -1,0 +1,74 @@
+"""Canonical trace event names and their field schemas.
+
+Every instrumented module emits events whose names are collected here so
+replay code, tests, and docs agree on one vocabulary.  The full field
+tables live in ``docs/observability.md``; this module is the in-code
+source of truth for the *names*.
+
+Conventions
+-----------
+* ``ts`` is simulated seconds for simulator events (``read``,
+  ``read_done``) and ``time.perf_counter()`` seconds for control-plane and
+  profiling events.
+* Identifiers are snake_case and grouped by layer with a short prefix-free
+  name — the layer is recoverable from :data:`EVENT_LAYER`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EVENT_LAYER", "SIMULATOR_EVENTS", "STORE_EVENTS", "CORE_EVENTS"]
+
+# -- simulator (repro.cluster) ------------------------------------------------
+READ = "read"  # one fork-join request: servers, sizes, queue wait
+READ_DONE = "read_done"  # request completion: latency
+SIMULATION_END = "simulation_end"  # per-run aggregates
+
+# -- byte store (repro.store) -------------------------------------------------
+BLOCK_PUT = "block_put"
+BLOCK_GET = "block_get"
+BLOCK_MISS = "block_miss"  # get/delete of an absent block (BlockNotFound)
+BLOCK_EVICT = "block_evict"
+BLOCK_DELETE = "block_delete"
+WORKER_CRASH = "worker_crash"
+FILE_REGISTER = "file_register"
+FILE_UNREGISTER = "file_unregister"
+FILE_RELOCATE = "file_relocate"
+
+# -- control plane (repro.core) -----------------------------------------------
+SCALE_ITER = "scale_iter"  # one Algorithm 1 ladder step: alpha, bound
+SCALE_SEARCH = "scale_search"  # whole search: iterations, wall time
+ADJUST_PLAN = "adjust_plan"  # one OnlineAdjuster round planned
+ADJUST_APPLY = "adjust_apply"  # ops committed: count, moved bytes
+REPARTITION_PLAN = "repartition_plan"  # Algorithm 2 planning outcome
+REPARTITION_TIME = "repartition_time"  # timing-model evaluation
+
+# -- profiling (repro.obs.profiling) ------------------------------------------
+PROFILE = "profile"  # wall-clock span: name, wall_s
+
+SIMULATOR_EVENTS = (READ, READ_DONE, SIMULATION_END)
+STORE_EVENTS = (
+    BLOCK_PUT,
+    BLOCK_GET,
+    BLOCK_MISS,
+    BLOCK_EVICT,
+    BLOCK_DELETE,
+    WORKER_CRASH,
+    FILE_REGISTER,
+    FILE_UNREGISTER,
+    FILE_RELOCATE,
+)
+CORE_EVENTS = (
+    SCALE_ITER,
+    SCALE_SEARCH,
+    ADJUST_PLAN,
+    ADJUST_APPLY,
+    REPARTITION_PLAN,
+    REPARTITION_TIME,
+)
+
+EVENT_LAYER: dict[str, str] = {
+    **{name: "simulator" for name in SIMULATOR_EVENTS},
+    **{name: "store" for name in STORE_EVENTS},
+    **{name: "core" for name in CORE_EVENTS},
+    PROFILE: "profiling",
+}

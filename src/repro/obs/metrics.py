@@ -1,0 +1,303 @@
+"""Process-wide metrics registry: counters, gauges, streaming histograms.
+
+The registry is the always-on half of the observability layer (the tracer
+in :mod:`repro.obs.tracing` is the opt-in half): instrumented code sites
+increment counters and feed histograms unconditionally, and tests or the
+CLI read a :meth:`MetricsRegistry.snapshot` afterwards.  Metrics are
+labelled (``registry.counter("store.block_miss", worker_id=3)``) so one
+metric name fans out across schemes, servers, or files without string
+mangling at the call site.
+
+Histograms are streaming: a fixed exponential bucket ladder for coarse
+distribution shape plus a bounded reservoir sample (Vitter's Algorithm R
+with a seeded PRNG, so snapshots are deterministic) for p50/p95/p99.  For
+samples no larger than the reservoir the percentiles are *exact* — they
+reduce to ``np.percentile`` over every observation.
+
+Hot loops that produce a whole latency vector at once should use
+:meth:`Histogram.observe_many`, which updates the bucket counts and the
+reservoir with vectorized NumPy work instead of a Python-level loop.
+
+Test isolation: :func:`reset_registry` drops every metric; suites that
+assert on counts call it in a fixture so modules instrumented with the
+process-wide registry (store workers, the simulator) start from zero.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "get_registry",
+    "reset_registry",
+    "set_registry",
+]
+
+#: Exponential bucket ladder covering 100 us .. ~100 s, a sensible default
+#: for the second-scale latencies the simulator produces.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = tuple(
+    1e-4 * (10.0 ** (i / 3.0)) for i in range(19)
+)
+
+LabelKey = tuple[str, tuple[tuple[str, Any], ...]]
+
+
+def _label_key(name: str, labels: dict[str, Any]) -> LabelKey:
+    return name, tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, operations)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins value (queue depth, imbalance factor, alpha)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution: fixed buckets + reservoir percentiles.
+
+    ``buckets`` are upper bounds of half-open intervals; observations above
+    the last bound land in an implicit overflow bucket.  The reservoir keeps
+    a uniform sample of at most ``reservoir_size`` observations (Algorithm
+    R), so :meth:`percentile` is exact until the sample outgrows the
+    reservoir and an unbiased estimate after.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "buckets",
+        "bucket_counts",
+        "count",
+        "sum",
+        "_reservoir",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, Any],
+        buckets: Iterable[float] | None = None,
+        reservoir_size: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(
+            sorted(buckets if buckets is not None else DEFAULT_SECONDS_BUCKETS)
+        )
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._reservoir: list[float] = [0.0] * reservoir_size
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_right(self.buckets, value)] += 1
+        cap = len(self._reservoir)
+        if self.count < cap:
+            self._reservoir[self.count] = value
+        else:
+            j = int(self._rng.integers(0, self.count + 1))
+            if j < cap:
+                self._reservoir[j] = value
+        self.count += 1
+        self.sum += value
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Bulk observe; vectorized counterpart of :meth:`observe`."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self.buckets, arr, side="right")
+        for i, c in zip(*np.unique(idx, return_counts=True)):
+            self.bucket_counts[int(i)] += int(c)
+        cap = len(self._reservoir)
+        free = cap - self.count
+        if free > 0:
+            take = arr[: free]
+            self._reservoir[self.count : self.count + take.size] = [
+                float(v) for v in take
+            ]
+            rest = arr[free:]
+        else:
+            rest = arr
+        if rest.size:
+            # Algorithm R, vectorized: item at global position n replaces a
+            # reservoir slot iff randint(0, n) < cap.  Replacements are
+            # applied in stream order so later items overwrite earlier.
+            start = max(self.count, cap)
+            slots = self._rng.integers(
+                0, np.arange(start, start + rest.size) + 1
+            )
+            for i in np.nonzero(slots < cap)[0]:
+                self._reservoir[int(slots[i])] = float(rest[i])
+        self.count += arr.size
+        self.sum += float(arr.sum())
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def sample(self) -> np.ndarray:
+        """The current reservoir contents (<= reservoir_size values)."""
+        n = min(self.count, len(self._reservoir))
+        return np.asarray(self._reservoir[:n], dtype=np.float64)
+
+    def percentile(self, q: float | Iterable[float]) -> float | np.ndarray:
+        sample = self.sample()
+        if sample.size == 0:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        result = np.percentile(sample, q)
+        return float(result) if np.isscalar(q) else result
+
+    def snapshot(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+        if self.count:
+            p50, p95, p99 = self.percentile([50, 95, 99])
+            out.update(p50=float(p50), p95=float(p95), p99=float(p99))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in the process.
+
+    Thread-safe at the get-or-create level (metric mutation itself is
+    GIL-atomic float arithmetic, adequate for the simulator's single-thread
+    hot paths and coarse enough for multi-threaded callers).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[LabelKey, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, labels: dict[str, Any], **kw):
+        key = _label_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, labels, **kw)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation between cases)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self, prefix: str = "") -> dict[str, Any]:
+        """Flat ``{"name{k=v,...}": value}`` view of the registry.
+
+        Counters and gauges map to floats; histograms map to their summary
+        dict (count/sum/mean/p50/p95/p99).
+        """
+        out: dict[str, Any] = {}
+        for (name, labels), metric in sorted(
+            self._metrics.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+        ):
+            if not name.startswith(prefix):
+                continue
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in labels)
+                key = f"{name}{{{rendered}}}"
+            else:
+                key = name
+            out[key] = metric.snapshot()
+        return out
+
+
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented module writes to."""
+    return _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _global_registry
+    previous = _global_registry
+    _global_registry = registry
+    return previous
+
+
+def reset_registry() -> None:
+    """Clear the process-wide registry (call between tests)."""
+    _global_registry.reset()

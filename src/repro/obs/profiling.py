@@ -1,0 +1,64 @@
+"""Wall-clock profiling hooks feeding the metrics registry and tracer.
+
+Control-plane code (the scale-factor search, repartition planning) wraps
+its expensive sections in :func:`profiled` so every run records a wall-time
+histogram (``profile.<name>.seconds``) and, when tracing is enabled, a
+``profile`` event.  Use the decorator form for whole functions::
+
+    @profile("scale_search")
+    def optimal_scale_factor(...): ...
+
+Simulated-time measurements do NOT belong here — those are events with
+explicit ``ts`` stamps; this module is for real CPU seconds only.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
+
+__all__ = ["profiled", "profile"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Wall-time buckets: 10 us .. ~10 s, finer than the latency default since
+#: control-plane sections are usually sub-second.
+_WALL_BUCKETS = tuple(1e-5 * (10.0 ** (i / 3.0)) for i in range(19))
+
+
+@contextmanager
+def profiled(name: str, **labels: Any) -> Iterator[None]:
+    """Record the wall time of a block under ``profile.<name>.seconds``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        get_registry().histogram(
+            f"profile.{name}.seconds", buckets=_WALL_BUCKETS, **labels
+        ).observe(elapsed)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.PROFILE, ts=start, name=name, wall_s=elapsed, **labels
+            )
+
+
+def profile(name: str, **labels: Any) -> Callable[[F], F]:
+    """Decorator form of :func:`profiled`."""
+
+    def deco(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with profiled(name, **labels):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco

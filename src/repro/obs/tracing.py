@@ -1,0 +1,203 @@
+"""Structured event tracing: spans and events over pluggable sinks.
+
+One :class:`Tracer` wraps one sink.  Instrumented code emits *events* —
+flat dicts with a name and a timestamp — and, for wall-clock profiling,
+*spans* that time a block and emit one event with its duration.  The
+timestamp is whatever clock the call site owns: the simulator passes its
+simulated-seconds clock explicitly (``tracer.event("read", ts=t, ...)``),
+while spans and bare events default to ``time.perf_counter``.
+
+Sinks
+-----
+:class:`NullSink`
+    The default.  ``enabled`` is ``False``, so instrumented hot paths skip
+    event construction entirely — the cost of disabled tracing is one
+    attribute check (benchmarked in ``benchmarks/bench_obs_overhead.py``).
+:class:`RingBufferSink`
+    Keeps the most recent ``capacity`` records in memory; what tests and
+    interactive sessions use.
+:class:`FileSink`
+    Appends one JSON object per line (JSONL).  NumPy scalars and arrays are
+    coerced to plain Python so every line is valid JSON; replay lives in
+    :mod:`repro.obs.replay`.
+
+The process-wide tracer defaults to a no-op; enable it globally with
+:func:`set_tracer` or temporarily with :func:`use_tracer`::
+
+    with use_tracer(Tracer(FileSink("run.jsonl"))):
+        simulate_reads(trace, policy, cluster)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = [
+    "FileSink",
+    "NullSink",
+    "RingBufferSink",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+def _coerce(value: Any) -> Any:
+    """JSON fallback for the NumPy types instrumentation naturally emits."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+class NullSink:
+    """Discard everything; signals call sites to skip event construction."""
+
+    enabled = False
+
+    def emit(self, record: dict[str, Any]) -> None:  # pragma: no cover
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` trace records in memory."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._buffer: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self._buffer.append(record)
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def close(self) -> None:
+        pass
+
+
+class FileSink:
+    """Write one JSON object per line to ``path`` (the JSONL trace file)."""
+
+    enabled = True
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.n_records = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self._fh.write(
+            json.dumps(record, default=_coerce, separators=(",", ":"))
+        )
+        self._fh.write("\n")
+        self.n_records += 1
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "FileSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class Tracer:
+    """Event/span front end over one sink.
+
+    Check :attr:`enabled` before building expensive event payloads in hot
+    loops; :meth:`event` also early-outs on its own, so cold paths can just
+    call it unconditionally.
+    """
+
+    __slots__ = ("sink",)
+
+    def __init__(self, sink: Any | None = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink.enabled
+
+    def event(self, name: str, ts: float | None = None, **fields: Any) -> None:
+        """Emit one record.  ``ts`` is the caller's clock (simulated seconds
+        in the simulator); defaults to ``time.perf_counter()``."""
+        sink = self.sink
+        if not sink.enabled:
+            return
+        record: dict[str, Any] = {
+            "event": name,
+            "ts": time.perf_counter() if ts is None else float(ts),
+        }
+        record.update(fields)
+        sink.emit(record)
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
+        """Time a block on the wall clock; emits ``name`` with ``wall_s``."""
+        if not self.sink.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.event(
+                name, ts=start, wall_s=time.perf_counter() - start, **fields
+            )
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+_global_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (a no-op unless someone installed a sink)."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` process-wide; returns the previous tracer."""
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer``; restores the previous one on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -11,9 +11,10 @@ from repro.store.lru import LRUCache
 from repro.store.master import FileMeta, Master, PartitionLocation
 from repro.store.store_client import StoreClient
 from repro.store.under_store import UnderStore
-from repro.store.worker import Worker
+from repro.store.worker import BlockNotFound, Worker
 
 __all__ = [
+    "BlockNotFound",
     "FileMeta",
     "LRUCache",
     "Master",

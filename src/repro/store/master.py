@@ -15,6 +15,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common import make_rng
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 
 __all__ = ["PartitionLocation", "FileMeta", "Master"]
 
@@ -129,6 +132,18 @@ class Master:
             per_loc = size / max(len(replica_groups[0]), 1)
         for loc in meta.locations:
             self.placed_bytes[loc.worker_id] += per_loc
+        reg = get_registry()
+        reg.counter("master.files_registered").inc()
+        reg.counter("master.bytes_registered").inc(size)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.FILE_REGISTER,
+                file_id=file_id,
+                bytes=size,
+                k=meta.k,
+                workers=meta.worker_ids,
+            )
         return meta
 
     def unregister_file(self, file_id: int) -> FileMeta:
@@ -138,6 +153,10 @@ class Master:
             per_loc = meta.size / max(len(meta.replica_groups[0]), 1)
         for loc in meta.locations:
             self.placed_bytes[loc.worker_id] -= per_loc
+        get_registry().counter("master.files_unregistered").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(ev.FILE_UNREGISTER, file_id=file_id, bytes=meta.size)
         return meta
 
     def relocate_file(
@@ -158,6 +177,16 @@ class Master:
             replica_groups=meta.replica_groups,
         )
         new_meta.access_count = meta.access_count
+        get_registry().counter("master.relocations").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.FILE_RELOCATE,
+                file_id=file_id,
+                old_k=meta.k,
+                new_k=new_meta.k,
+                workers=new_meta.worker_ids,
+            )
         return new_meta
 
     # -- popularity --------------------------------------------------------

@@ -18,6 +18,8 @@ evicted or a worker crashed (Sec. 8).
 
 from __future__ import annotations
 
+from contextlib import suppress
+
 import numpy as np
 
 from repro.common import make_rng
@@ -25,7 +27,7 @@ from repro.ec.codec import RSFileCodec, split_bytes, unsplit_bytes
 from repro.store.lineage import LineageGraph
 from repro.store.master import FileMeta, Master, PartitionLocation
 from repro.store.under_store import UnderStore
-from repro.store.worker import Worker
+from repro.store.worker import BlockNotFound, Worker
 
 __all__ = ["StoreClient"]
 
@@ -231,7 +233,9 @@ class StoreClient:
             raise ValueError("repartition applies to plain-partitioned files")
         data = self._read_partitioned(meta)
         for loc in meta.locations:
-            self.workers[loc.worker_id].delete_block(file_id, loc.index)
+            # A block evicted since the read is already gone — fine here.
+            with suppress(BlockNotFound):
+                self.workers[loc.worker_id].delete_block(file_id, loc.index)
         worker_ids = self._choose(new_k, placement)
         parts = split_bytes(data, new_k)
         locations = []

@@ -4,15 +4,43 @@ Blocks are keyed by ``(file_id, partition_index)``.  Eviction is LRU at
 block granularity; the master is responsible for noticing dangling metadata
 after evictions (mirroring Alluxio, where workers evict autonomously and
 the master learns via heartbeats).
+
+Observability: block puts/gets/evictions/misses and crashes feed the
+process-wide metrics registry (``store.*`` counters labelled by
+``worker_id``) and, when tracing is enabled, emit the ``block_*`` /
+``worker_crash`` events of :mod:`repro.obs.events`.  A lookup of an absent
+block raises :class:`BlockNotFound` — a :class:`KeyError` subclass, so
+existing recovery paths that catch ``KeyError`` keep working — and counts
+as a miss.
 """
 
 from __future__ import annotations
 
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 from repro.store.lru import LRUCache
 
-__all__ = ["Worker"]
+__all__ = ["BlockNotFound", "Worker"]
 
 BlockKey = tuple[int, int]
+
+
+class BlockNotFound(KeyError):
+    """A requested block is absent from this worker (evicted, lost, or
+    never written).  Subclasses ``KeyError`` for backward compatibility."""
+
+    def __init__(self, worker_id: int, file_id: int, index: int) -> None:
+        super().__init__((file_id, index))
+        self.worker_id = worker_id
+        self.file_id = file_id
+        self.index = index
+
+    def __str__(self) -> str:
+        return (
+            f"worker {self.worker_id} holds no block "
+            f"({self.file_id}, {self.index})"
+        )
 
 
 class Worker:
@@ -31,6 +59,32 @@ class Worker:
     def _drop(self, key: BlockKey, _size: float) -> None:
         self._blocks.pop(key, None)
         self.evicted_blocks.append(key)
+        get_registry().counter(
+            "store.block_evictions", worker_id=self.worker_id
+        ).inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.BLOCK_EVICT,
+                worker_id=self.worker_id,
+                file_id=key[0],
+                index=key[1],
+            )
+
+    def _miss(self, op: str, file_id: int, index: int) -> BlockNotFound:
+        get_registry().counter(
+            "store.block_misses", worker_id=self.worker_id, op=op
+        ).inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.BLOCK_MISS,
+                worker_id=self.worker_id,
+                file_id=file_id,
+                index=index,
+                op=op,
+            )
+        return BlockNotFound(self.worker_id, file_id, index)
 
     def __contains__(self, key: BlockKey) -> bool:
         return key in self._blocks
@@ -49,6 +103,18 @@ class Worker:
         """Store a block; returns keys evicted to make room."""
         key = (file_id, index)
         self._blocks[key] = bytes(data)
+        get_registry().counter(
+            "store.bytes_stored", worker_id=self.worker_id
+        ).inc(len(data))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.BLOCK_PUT,
+                worker_id=self.worker_id,
+                file_id=file_id,
+                index=index,
+                bytes=len(data),
+            )
         if self._lru is not None:
             before = len(self.evicted_blocks)
             self._lru.put(key, len(data))
@@ -56,19 +122,44 @@ class Worker:
         return []
 
     def get_block(self, file_id: int, index: int) -> bytes:
-        """Fetch a block; raises ``KeyError`` when absent (evicted/lost)."""
+        """Fetch a block; raises :class:`BlockNotFound` when absent
+        (evicted/lost) and counts the miss in the metrics registry."""
         key = (file_id, index)
-        data = self._blocks[key]
+        data = self._blocks.get(key)
+        if data is None:
+            raise self._miss("get", file_id, index)
         if self._lru is not None:
             self._lru.touch(key)
         self.bytes_served += len(data)
+        get_registry().counter(
+            "store.bytes_served", worker_id=self.worker_id
+        ).inc(len(data))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.BLOCK_GET,
+                worker_id=self.worker_id,
+                file_id=file_id,
+                index=index,
+                bytes=len(data),
+            )
         return data
 
     def delete_block(self, file_id: int, index: int) -> None:
+        """Drop a block; raises :class:`BlockNotFound` when absent."""
         key = (file_id, index)
-        self._blocks.pop(key, None)
+        if self._blocks.pop(key, None) is None:
+            raise self._miss("delete", file_id, index)
         if self._lru is not None and key in self._lru:
             self._lru.remove(key)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.BLOCK_DELETE,
+                worker_id=self.worker_id,
+                file_id=file_id,
+                index=index,
+            )
 
     def delete_file(self, file_id: int) -> int:
         """Drop every block of ``file_id``; returns how many were dropped."""
@@ -79,6 +170,15 @@ class Worker:
 
     def crash(self) -> None:
         """Lose all in-memory state (worker failure in the Sec. 8 scenario)."""
+        lost = len(self._blocks)
         self._blocks.clear()
         if self._lru is not None:
             self._lru = LRUCache(self.capacity, on_evict=self._drop)
+        get_registry().counter(
+            "store.worker_crashes", worker_id=self.worker_id
+        ).inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.WORKER_CRASH, worker_id=self.worker_id, lost_blocks=lost
+            )

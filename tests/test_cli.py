@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -56,3 +58,99 @@ def test_experiments_forwarding(tmp_path, capsys):
 def test_stragglers_choices_rejected():
     with pytest.raises(SystemExit):
         main(["simulate", "--stragglers", "tornado", *FAST])
+
+
+def test_simulate_json(capsys):
+    assert main(["simulate", "--scheme", "sp", "--json", *FAST]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["scheme"] == "sp-cache"
+    assert record["requests"] == 300
+    assert record["mean_s"] > 0
+    assert record["metrics"]["engine"] in ("fifo", "ps")
+    assert record["metrics"]["imbalance_eta"] == pytest.approx(record["eta"])
+
+
+def test_simulate_seed_reproducible(capsys):
+    main(["simulate", "--json", "--seed", "7", *FAST])
+    first = capsys.readouterr().out
+    main(["simulate", "--json", "--seed", "7", *FAST])
+    second = capsys.readouterr().out
+    assert json.loads(first) == json.loads(second)
+    main(["simulate", "--json", "--seed", "8", *FAST])
+    other = json.loads(capsys.readouterr().out)
+    assert other["mean_s"] != json.loads(first)["mean_s"]
+
+
+def test_compare_json(capsys):
+    assert main(["compare", "--schemes", "sp,single", "--json", *FAST]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [r["scheme"] for r in rows] == ["sp-cache", "single-copy"]
+    assert all("eta" in r and "mem_overhead_pct" in r for r in rows)
+
+
+def test_trace_subcommand_writes_jsonl(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    assert main(
+        ["trace", "--schemes", "sp,single", "--out", str(out), *FAST]
+    ) == 0
+    assert "traced" in capsys.readouterr().out
+    lines = [json.loads(l) for l in out.read_text().splitlines()]
+    reads = [r for r in lines if r["event"] == "read"]
+    assert len(reads) == 2 * 300  # both schemes, every request
+    assert {r["event"] for r in lines} >= {"read", "read_done", "simulation_end"}
+
+
+def test_stats_subcommand(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    main(["trace", "--schemes", "sp", "--out", str(out), *FAST])
+    capsys.readouterr()
+    assert main(["stats", str(out), "--timeline", "4", "--per-server"]) == 0
+    printed = capsys.readouterr().out
+    assert "sp-cache" in printed
+    assert "per-server load" in printed
+    assert "load timeline" in printed
+    assert "event counts" in printed
+
+
+def test_stats_rejects_traceless_file(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["stats", str(empty)]) == 1
+    assert "no read events" in capsys.readouterr().err
+
+
+def test_stats_bad_inputs_fail_cleanly(tmp_path, capsys):
+    assert main(["stats", str(tmp_path / "missing.jsonl")]) == 2
+    assert "no such trace file" in capsys.readouterr().err
+
+    corrupt = tmp_path / "corrupt.jsonl"
+    corrupt.write_text('{"event": "read"}\n{broken\n')
+    assert main(["stats", str(corrupt)]) == 2
+    assert "not a JSONL trace" in capsys.readouterr().err
+
+    good = tmp_path / "ok.jsonl"
+    good.write_text("")
+    assert main(["stats", str(good), "--timeline", "-3"]) == 2
+    assert "--timeline" in capsys.readouterr().err
+
+
+def test_traced_compare_replays_to_matching_eta(tmp_path, capsys):
+    """Acceptance: the JSONL trace of a compare run is sufficient to
+    reconstruct per-server loads whose imbalance factor matches the one
+    computed in-process from SimulationResult.server_bytes."""
+    trace = tmp_path / "cmp.jsonl"
+    assert main(
+        ["compare", "--schemes", "sp,ec,single", "--json",
+         "--trace", str(trace), *FAST]
+    ) == 0
+    in_process = {
+        r["scheme"]: r["eta"] for r in json.loads(capsys.readouterr().out)
+    }
+    assert main(["stats", str(trace), "--json"]) == 0
+    replayed = {
+        r["scheme"]: r["eta"]
+        for r in json.loads(capsys.readouterr().out)["summary"]
+    }
+    assert set(replayed) == set(in_process)
+    for scheme, eta in in_process.items():
+        assert replayed[scheme] == pytest.approx(eta, rel=1e-12)

@@ -121,6 +121,23 @@ class TestMetrics:
         with pytest.raises(ValueError):
             summarize_latencies(np.array([-1.0]))
 
+    def test_summary_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            summarize_latencies(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError, match="finite"):
+            summarize_latencies(np.array([1.0, np.inf]))
+
+    def test_cv_imbalance_shared_edge_contract(self):
+        """Empty raises, all-zero is 0.0, non-finite raises — for both."""
+        for fn in (coefficient_of_variation, imbalance_factor):
+            with pytest.raises(ValueError):
+                fn(np.array([]))
+            assert fn(np.zeros(5)) == 0.0
+            with pytest.raises(ValueError, match="finite"):
+                fn(np.array([1.0, np.nan]))
+            with pytest.raises(ValueError, match="finite"):
+                fn(np.array([np.inf, 1.0]))
+
 
 class TestOps:
     def test_read_op_defaults(self):

@@ -1,0 +1,21 @@
+"""Observability tests run against a clean registry and a no-op tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NullSink, Tracer, reset_registry, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Reset the process-wide registry and tracer around every test.
+
+    Instrumented modules (simulator, store workers) write to the global
+    singletons, so without this fixture counts would leak across cases.
+    """
+    reset_registry()
+    previous = set_tracer(Tracer(NullSink()))
+    yield
+    set_tracer(previous)
+    reset_registry()

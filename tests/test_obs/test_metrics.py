@@ -1,0 +1,151 @@
+"""Registry semantics and histogram percentile accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("x", {})
+        c.inc()
+        c.inc(2.5)
+        assert c.snapshot() == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x", {}).inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x", {})
+        g.set(7)
+        g.set(3)
+        g.inc(-1)
+        assert g.snapshot() == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("sim.requests", scheme="sp-cache")
+        b = reg.counter("sim.requests", scheme="sp-cache")
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", scheme="x", server_id=1)
+        b = reg.counter("m", server_id=1, scheme="x")
+        assert a is b
+
+    def test_labels_fan_out(self):
+        reg = MetricsRegistry()
+        reg.counter("m", scheme="a").inc()
+        reg.counter("m", scheme="b").inc(2)
+        assert len(reg) == 2
+        snap = reg.snapshot()
+        assert snap["m{scheme=a}"] == 1.0
+        assert snap["m{scheme=b}"] == 2.0
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", scheme="a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("m", scheme="a")
+
+    def test_snapshot_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.requests").inc()
+        reg.counter("store.bytes_served").inc()
+        assert list(reg.snapshot(prefix="store.")) == ["store.bytes_served"]
+
+    def test_reset_between_tests(self):
+        """The semantics the autouse fixture relies on: reset drops state
+        from the *global* registry without replacing the object, so modules
+        holding a reference via get_registry() start from zero."""
+        reg = get_registry()
+        reg.counter("sim.requests", scheme="x").inc(5)
+        assert len(reg) == 1
+        reset_registry()
+        assert len(reg) == 0
+        assert get_registry() is reg
+        assert reg.counter("sim.requests", scheme="x").snapshot() == 0.0
+
+    def test_set_registry_swaps_and_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            assert set_registry(previous) is fresh
+
+
+class TestHistogram:
+    def test_bucket_counts_match_observe_many(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(0.05, size=500)
+        one = Histogram("h", {})
+        for v in values:
+            one.observe(v)
+        many = Histogram("h", {})
+        many.observe_many(values)
+        assert one.bucket_counts == many.bucket_counts
+        assert one.count == many.count == 500
+        assert one.sum == pytest.approx(many.sum)
+
+    def test_percentiles_exact_within_reservoir(self):
+        """Up to reservoir_size observations, percentiles reduce to
+        np.percentile over every observation (the documented guarantee)."""
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(size=1000)
+        h = Histogram("h", {}, reservoir_size=4096)
+        h.observe_many(values)
+        for q in (50, 90, 95, 99):
+            assert h.percentile(q) == pytest.approx(
+                np.percentile(values, q), rel=1e-12
+            )
+
+    def test_percentiles_approximate_beyond_reservoir(self):
+        rng = np.random.default_rng(2)
+        values = rng.exponential(1.0, size=50_000)
+        h = Histogram("h", {}, reservoir_size=2048)
+        h.observe_many(values)
+        assert h.count == 50_000
+        # A 2048-point uniform sample pins mid percentiles within a few %.
+        for q in (50, 95):
+            assert h.percentile(q) == pytest.approx(
+                np.percentile(values, q), rel=0.15
+            )
+
+    def test_observe_streaming_matches_bulk_reservoir_fill(self):
+        values = np.arange(100, dtype=float)
+        h = Histogram("h", {}, reservoir_size=256)
+        h.observe_many(values)
+        assert np.array_equal(h.sample(), values)
+
+    def test_snapshot_fields(self):
+        h = Histogram("h", {})
+        h.observe_many(np.array([0.1, 0.2, 0.3, 0.4]))
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(1.0)
+        assert snap["mean"] == pytest.approx(0.25)
+        assert snap["p50"] == pytest.approx(0.25)
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError, match="no observations"):
+            Histogram("h", {}).percentile(50)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", {}, buckets=())

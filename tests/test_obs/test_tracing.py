@@ -1,0 +1,121 @@
+"""Tracer/sink behavior: no-op default, ring capacity, JSONL validity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    FileSink,
+    NullSink,
+    RingBufferSink,
+    Tracer,
+    get_tracer,
+    iter_trace,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestNullDefault:
+    def test_default_tracer_is_disabled(self):
+        assert Tracer().enabled is False
+        assert get_tracer().enabled is False  # fixture installs a NullSink
+
+    def test_disabled_event_is_a_noop(self):
+        t = Tracer(NullSink())
+        t.event("read", ts=1.0, file_id=3)  # must not raise or allocate sink state
+
+    def test_disabled_span_still_runs_body(self):
+        t = Tracer(NullSink())
+        ran = False
+        with t.span("work"):
+            ran = True
+        assert ran
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_records(self):
+        sink = RingBufferSink(capacity=3)
+        t = Tracer(sink)
+        for i in range(5):
+            t.event("e", ts=float(i), i=i)
+        assert len(sink) == 3
+        assert [r["i"] for r in sink.records] == [2, 3, 4]
+
+    def test_clear(self):
+        sink = RingBufferSink(capacity=3)
+        Tracer(sink).event("e", ts=0.0)
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestFileSink:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with FileSink(str(path)) as sink:
+            t = Tracer(sink)
+            t.event("read", ts=0.5, file_id=7, servers=[1, 2])
+            t.event("read_done", ts=0.9, latency=0.4)
+        records = list(iter_trace(path))
+        assert sink.n_records == 2
+        assert records[0] == {
+            "event": "read", "ts": 0.5, "file_id": 7, "servers": [1, 2]
+        }
+        assert records[1]["latency"] == 0.4
+
+    def test_numpy_values_coerced_to_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with FileSink(str(path)) as sink:
+            Tracer(sink).event(
+                "e",
+                ts=np.float64(1.25),
+                n=np.int64(3),
+                sizes=np.array([1.0, 2.0]),
+            )
+        # Every line must be plain JSON — no numpy reprs.
+        (record,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert record == {"event": "e", "ts": 1.25, "n": 3, "sizes": [1.0, 2.0]}
+
+    def test_unserializable_field_raises(self, tmp_path):
+        with FileSink(str(tmp_path / "t.jsonl")) as sink:
+            with pytest.raises(TypeError, match="not JSON serializable"):
+                Tracer(sink).event("e", ts=0.0, bad=object())
+
+
+class TestSpansAndGlobals:
+    def test_span_records_wall_time(self):
+        sink = RingBufferSink()
+        with Tracer(sink).span("scale_search", mode="sweep"):
+            pass
+        (record,) = sink.records
+        assert record["event"] == "scale_search"
+        assert record["mode"] == "sweep"
+        assert record["wall_s"] >= 0.0
+
+    def test_span_emits_even_on_exception(self):
+        sink = RingBufferSink()
+        with pytest.raises(RuntimeError):
+            with Tracer(sink).span("work"):
+                raise RuntimeError("boom")
+        assert len(sink) == 1
+
+    def test_use_tracer_restores_previous(self):
+        before = get_tracer()
+        ring = Tracer(RingBufferSink())
+        with use_tracer(ring) as active:
+            assert active is ring
+            assert get_tracer() is ring
+        assert get_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        before = get_tracer()
+        ring = Tracer(RingBufferSink())
+        assert set_tracer(ring) is before
+        assert set_tracer(before) is ring

@@ -5,8 +5,51 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.obs import get_registry, reset_registry
 from repro.store.master import Master, PartitionLocation
-from repro.store.worker import Worker
+from repro.store.worker import BlockNotFound, Worker
+
+
+class TestBlockNotFound:
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        reset_registry()
+        yield
+        reset_registry()
+
+    def test_is_keyerror_subclass(self):
+        """Existing recovery paths catch KeyError; the dedicated exception
+        must keep satisfying them."""
+        assert issubclass(BlockNotFound, KeyError)
+
+    def test_get_missing_raises_with_context(self):
+        w = Worker(3)
+        with pytest.raises(BlockNotFound) as exc:
+            w.get_block(9, 2)
+        assert exc.value.worker_id == 3
+        assert exc.value.file_id == 9
+        assert exc.value.index == 2
+        assert "worker 3" in str(exc.value)
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(BlockNotFound):
+            Worker(0).delete_block(9, 9)
+
+    def test_misses_counted_per_op(self):
+        w = Worker(1)
+        with pytest.raises(BlockNotFound):
+            w.get_block(5, 0)
+        with pytest.raises(BlockNotFound):
+            w.get_block(5, 1)
+        with pytest.raises(BlockNotFound):
+            w.delete_block(5, 0)
+        reg = get_registry()
+        assert reg.counter(
+            "store.block_misses", worker_id=1, op="get"
+        ).snapshot() == 2.0
+        assert reg.counter(
+            "store.block_misses", worker_id=1, op="delete"
+        ).snapshot() == 1.0
 
 
 class TestWorker:
