@@ -20,8 +20,10 @@ Subcommands
     ``repro.experiments.run_all``).
 
 ``simulate`` and ``compare`` accept ``--seed`` (reproducible runs),
-``--json`` (machine-parseable output), and ``--trace PATH`` (record the
-run's event stream while still printing the usual table).
+``--json`` (machine-parseable output), ``--trace PATH`` (record the
+run's event stream while still printing the usual table), and
+``--discipline SPEC`` (a server discipline from the engine registry —
+``fifo``, ``ps``, or e.g. ``limited(4)``; see ``docs/engine.md``).
 """
 
 from __future__ import annotations
@@ -37,7 +39,9 @@ from repro.analysis.tables import format_table
 from repro.cluster import (
     SimulationConfig,
     StragglerInjector,
+    available_disciplines,
     imbalance_factor,
+    resolve_discipline,
     simulate_reads,
 )
 from repro.common import MB, ClusterSpec, Gbps
@@ -93,6 +97,29 @@ _STRAGGLERS = {
 }
 
 
+def _discipline_spec(value: str) -> str:
+    """argparse type: validate against the discipline registry early."""
+    try:
+        resolve_discipline(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _add_discipline_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--discipline",
+        type=_discipline_spec,
+        default="ps",
+        metavar="SPEC",
+        help=(
+            "server discipline from the engine registry: "
+            f"{', '.join(available_disciplines())} "
+            "(parameterised specs like 'limited(4)' work too)"
+        ),
+    )
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--files", type=int, default=300)
     parser.add_argument("--size-mb", type=float, default=100.0)
@@ -117,6 +144,7 @@ def _simulate_one(pop, cluster, scheme, args):
     policy = _SCHEMES[scheme](pop, cluster, args.seed)
     trace = poisson_trace(pop, n_requests=args.requests, seed=args.seed + 1)
     config = SimulationConfig(
+        discipline=getattr(args, "discipline", "ps"),
         jitter="deterministic",
         stragglers=_STRAGGLERS[args.stragglers](),
         seed=args.seed + 2,
@@ -356,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument(
         "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
     )
+    _add_discipline_arg(p_sim)
     p_sim.add_argument(
         "--json", action="store_true", help="machine-parseable JSON output"
     )
@@ -372,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument(
         "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
     )
+    _add_discipline_arg(p_cmp)
     p_cmp.add_argument(
         "--json", action="store_true", help="machine-parseable JSON output"
     )
@@ -395,6 +425,7 @@ def main(argv: list[str] | None = None) -> int:
     p_trc.add_argument(
         "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
     )
+    _add_discipline_arg(p_trc)
     p_trc.add_argument("--out", required=True, metavar="PATH")
     p_trc.set_defaults(func=_cmd_trace)
 

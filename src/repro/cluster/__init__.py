@@ -1,22 +1,32 @@
 """Discrete-event cluster-cache simulator.
 
-This package replaces the paper's EC2/Alluxio testbed.  Each cache server is
-a FIFO single-channel queue (the M/G/1 model of Sec. 5.3); a file read forks
+This package replaces the paper's EC2/Alluxio testbed.  A file read forks
 into parallel partition reads and joins on the slowest (or, with late
 binding, the ``k``-th fastest).  On top of the queueing core sit the two
-effects the paper measures but its model omits: per-connection goodput loss
-(Fig. 6) and straggler injection (Bing profile).
+effects the paper measures but its model omits: per-connection goodput
+loss (Fig. 6) and straggler injection (Bing profile).
 
-The fork-join engine (:mod:`repro.cluster.simulation`) exploits a structural
-property for speed: because every partition read of a request arrives at its
-server at the request's arrival instant and servers are FIFO, processing
-requests in arrival order with a per-server ``free_at`` clock reproduces the
-exact event-driven schedule without a heap.  A general heap-based engine
-(:mod:`repro.cluster.events`) is provided for components that need arbitrary
-event interleavings (repartition, validation tests).
+How a cache server schedules concurrent reads is a plug-in
+(:mod:`repro.cluster.engine`): the ``fifo`` discipline is the paper's
+M/G/1 single-channel abstraction (an exact heap-free fast path), ``ps``
+is two-sided processor sharing (how the testbed's parallel TCP streams
+behave), and ``limited(c)`` caps each server at ``c`` concurrent flows
+with FIFO overflow.  The shared request lifecycle — planning, goodput,
+jitter, stragglers, LRU, join accounting, tracing, metrics — lives in
+:class:`repro.cluster.engine.RequestLifecycle`; ``docs/engine.md``
+explains the split and how to register new disciplines.  A general
+heap-based engine (:mod:`repro.cluster.events`) is provided for
+components that need arbitrary event interleavings (repartition,
+validation tests).
 """
 
 from repro.cluster.client import ReadOp, WriteOp
+from repro.cluster.engine import (
+    ServerDiscipline,
+    available_disciplines,
+    register_discipline,
+    resolve_discipline,
+)
 from repro.cluster.events import EventQueue
 from repro.cluster.metrics import (
     LatencySummary,
@@ -33,12 +43,16 @@ __all__ = [
     "GoodputModel",
     "LatencySummary",
     "ReadOp",
+    "ServerDiscipline",
     "SimulationConfig",
     "SimulationResult",
     "StragglerInjector",
     "WriteOp",
+    "available_disciplines",
     "coefficient_of_variation",
     "imbalance_factor",
+    "register_discipline",
+    "resolve_discipline",
     "simulate_reads",
     "summarize_latencies",
 ]

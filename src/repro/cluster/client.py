@@ -5,6 +5,13 @@ how a request reads them; the *simulator* only sees the resulting
 :class:`ReadOp`: which servers to hit, how many bytes each serves, how many
 reads must complete before the join fires (late binding reads ``k + 1`` but
 joins on ``k``), and any post-join compute such as erasure decoding.
+
+Planners are discipline-agnostic: the shared request lifecycle
+(:class:`repro.cluster.engine.RequestLifecycle`) calls ``plan_read`` once
+per request regardless of which registered server discipline (``fifo``,
+``ps``, ``limited(c)``, ...) schedules the resulting flows, so one policy
+implementation serves every service model.  ``footprint`` feeds the
+cluster-wide LRU when a cache budget is set.
 """
 
 from __future__ import annotations

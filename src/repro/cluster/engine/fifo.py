@@ -1,0 +1,108 @@
+"""FIFO single-channel servers — the paper's M/G/1 abstraction.
+
+Exactness without an event heap: every fork of a request arrives at the
+request's arrival instant, and requests are processed in nondecreasing
+arrival time, so per-server FIFO order equals processing order — a
+per-server ``free_at`` clock yields the same schedule an event-driven
+simulator would.  ``tests/test_cluster/test_simulation_exactness.py``
+checks this against an independent heap-based M/M/1 implementation, and
+``tests/test_cluster/test_forkjoin_exactness.py`` property-tests it
+against a brute-force multi-server fork-join reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.engine.lifecycle import RequestLifecycle, SimulationResult
+from repro.cluster.engine.registry import register_discipline
+
+__all__ = ["FifoDiscipline"]
+
+
+class FifoDiscipline:
+    """One transfer at a time per server, queued in arrival order."""
+
+    name = "fifo"
+
+    def run(self, lc: RequestLifecycle) -> SimulationResult:
+        rng = lc.rng
+        bandwidths = lc.bandwidths
+        n_requests = lc.n_requests
+
+        free_at = np.zeros(lc.cluster.n_servers)
+        server_bytes = np.zeros(lc.cluster.n_servers)
+        latencies = np.empty(n_requests)
+
+        exponential = lc.exponential
+        injector = lc.injector
+        emit = lc.emit
+        times = lc.trace.times
+        file_ids = lc.trace.file_ids
+
+        for j in range(n_requests):
+            t = times[j]
+            fid = int(file_ids[j])
+            op = lc.plan(fid)
+            servers = op.server_ids
+            bw = bandwidths[servers]
+
+            # Base service times, with goodput loss from this request's
+            # fan-out.
+            if bw.size > 1 and np.ptp(bw) > 0:
+                factors = np.array(
+                    [lc.goodput_factor(op.parallelism, b) for b in bw]
+                )
+            else:
+                factors = lc.goodput_factor(op.parallelism, float(bw[0]))
+            service = op.sizes / (bw * factors)
+            if exponential:
+                service = rng.exponential(service)
+
+            start = np.maximum(t, free_at[servers])
+            completion = start + service
+            free_at[servers] = completion
+            server_bytes[servers] += op.sizes
+
+            # Straggler reads report late without occupying the NIC — the
+            # fork-join sees the late time, the queue does not.
+            reported = completion
+            straggled = False
+            if injector.enabled:
+                extra, mult = lc.report_delays(op)
+                reported = completion + extra
+                straggled = bool(np.any(mult > 1.0))
+                lc.count_straggled(straggled)
+
+            if op.join_count < reported.size:
+                join_at = np.partition(reported, op.join_count - 1)[
+                    op.join_count - 1
+                ]
+            else:
+                join_at = reported.max()
+
+            missed = lc.admit(fid)
+            latency = lc.request_latency(
+                t, join_at, op.post_fraction, op.post_seconds, missed
+            )
+            latencies[j] = latency
+
+            if emit:
+                lc.emit_read(
+                    ts=float(t),
+                    req=j,
+                    file_id=fid,
+                    op=op,
+                    straggled=straggled,
+                    missed=missed,
+                    queue_wait=float(np.max(start - t)),
+                    service=float(np.max(service)),
+                )
+                lc.emit_read_done(
+                    ts=float(t + latency), req=j, file_id=fid, latency=latency
+                )
+
+        return lc.result(latencies, server_bytes)
+
+
+register_discipline(FifoDiscipline.name, FifoDiscipline)

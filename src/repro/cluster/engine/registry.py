@@ -1,0 +1,125 @@
+"""The server-discipline plug-in seam.
+
+A *discipline* is how a cache server multiplexes concurrent partition
+reads over its NIC: FIFO (the paper's M/G/1 abstraction), processor
+sharing (how the EC2 testbed's parallel TCP streams behave), or anything
+in between.  The request lifecycle — read planning, goodput, jitter,
+stragglers, LRU admission, the fork-join, tracing, metrics — is identical
+across disciplines and lives in :mod:`repro.cluster.engine.lifecycle`;
+a discipline only decides *when each partition read finishes*.
+
+Disciplines register here under a short name and are selected by
+``SimulationConfig(discipline=...)`` with either a registered instance or
+a spec string: a bare name (``"fifo"``, ``"ps"``) or a parameterised call
+(``"limited(4)"``, ``"limited(inf)"``).  See ``docs/engine.md`` for how
+to add one.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cluster.engine.lifecycle import (
+        RequestLifecycle,
+        SimulationResult,
+    )
+
+__all__ = [
+    "ServerDiscipline",
+    "available_disciplines",
+    "register_discipline",
+    "resolve_discipline",
+]
+
+
+@runtime_checkable
+class ServerDiscipline(Protocol):
+    """What the dispatcher requires of a server service discipline."""
+
+    #: Registry name; stamped on metrics/events as the ``engine`` label.
+    name: str
+
+    def run(
+        self, lifecycle: RequestLifecycle
+    ) -> SimulationResult:  # pragma: no cover - protocol
+        """Schedule every read of the lifecycle's trace to completion."""
+        ...
+
+
+_REGISTRY: dict[str, Callable[..., ServerDiscipline]] = {}
+
+#: ``name`` or ``name(arg, ...)`` with numeric arguments.
+_SPEC_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\((.*)\))?\s*$")
+
+
+def register_discipline(
+    name: str, factory: Callable[..., ServerDiscipline]
+) -> None:
+    """Register ``factory`` (class or callable) under ``name``.
+
+    Re-registering a name replaces the factory, so downstream code can
+    override a built-in discipline with an instrumented variant.
+    """
+    if not _SPEC_RE.match(name) or "(" in name:
+        raise ValueError(f"invalid discipline name {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_disciplines() -> tuple[str, ...]:
+    """Registered discipline names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _parse_arg(token: str) -> float | int:
+    token = token.strip()
+    if token in ("inf", "Inf", "INF"):
+        return math.inf
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(
+            f"discipline argument {token!r} is not a number"
+        ) from None
+
+
+def resolve_discipline(spec: str | ServerDiscipline) -> ServerDiscipline:
+    """Turn a config's ``discipline`` into a runnable instance.
+
+    ``spec`` is either an object already honouring
+    :class:`ServerDiscipline` (returned unchanged) or a spec string such
+    as ``"fifo"``, ``"ps"``, ``"limited(4)"``.  Raises ``ValueError`` for
+    unknown names or malformed specs.
+    """
+    if not isinstance(spec, str):
+        if isinstance(spec, ServerDiscipline):
+            return spec
+        raise TypeError(
+            "discipline must be a spec string or a ServerDiscipline "
+            f"instance, got {type(spec).__name__}"
+        )
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        raise ValueError(f"malformed discipline spec {spec!r}")
+    name, argstr = match.group(1), match.group(2)
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown discipline {name!r}; registered: "
+            f"{', '.join(available_disciplines())}"
+        )
+    args = (
+        tuple(_parse_arg(tok) for tok in argstr.split(","))
+        if argstr and argstr.strip()
+        else ()
+    )
+    try:
+        return factory(*args)
+    except TypeError as exc:
+        raise ValueError(f"bad arguments in {spec!r}: {exc}") from exc

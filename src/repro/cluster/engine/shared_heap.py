@@ -1,0 +1,293 @@
+"""Bandwidth-sharing disciplines on a lazily-invalidated event heap.
+
+Two registered disciplines run on the same engine:
+
+* ``ps`` — full processor sharing with server- and client-side NIC caps.
+  A real Alluxio worker serves concurrent reads over parallel TCP streams
+  that *share* its NIC, and the reading client's own NIC caps the
+  aggregate rate of one request's parallel partition streams.  Fair
+  sharing at the server means a 3 MB hot-partition read is never stuck
+  behind an entire 100 MB cold transfer; the client-side cap is precisely
+  why ever-finer splitting stops paying and the optimal scale factor sits
+  at an elbow.
+* ``limited(c)`` — at most ``c`` flows are served concurrently per
+  server (fair-sharing among themselves), later arrivals wait in a FIFO
+  queue.  This is the connection-pool middle ground between the two pure
+  models: ``limited(1)`` degenerates to the FIFO discipline and
+  ``limited(inf)`` is exactly ``ps``.
+
+Rate model: an *active* flow ``f`` of request ``r`` on server ``s``
+receives ``min(B_s / n_s, B_c / n_r)`` bytes/second, where ``n_s`` counts
+active flows on the server and ``n_r`` active flows of the request.
+(Bottleneck-cap allocation without residual-share redistribution —
+slightly conservative relative to full max-min water-filling, identical
+when one side clearly bottlenecks.)  Rates change only at flow
+activation/completion, so an event-driven engine with lazily invalidated
+per-flow completion events simulates it exactly.
+
+A flow's *effective* bytes fold in the per-connection goodput loss
+(``size / g(fan_out)``) and an optional exponential jitter factor.
+Straggler injection follows the paper's "sleep the server thread"
+semantics: a straggling read's completion is *reported* late to the
+fork-join (by ``(m - 1) x`` its nominal transfer time) but the flow frees
+its bandwidth on time — a sleeping thread occupies no NIC.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.cluster.engine.lifecycle import RequestLifecycle, SimulationResult
+from repro.cluster.engine.registry import register_discipline
+
+__all__ = ["LimitedDiscipline", "PSDiscipline", "simulate_reads_ps"]
+
+
+def _run_heap(
+    lc: RequestLifecycle, capacity: int | None
+) -> SimulationResult:
+    """Drive the event heap; ``capacity=None`` means unbounded (pure PS)."""
+    config = lc.config
+    rng = lc.rng
+    bandwidths = lc.bandwidths
+    client_bw = lc.cluster.effective_client_bandwidth
+    n_requests = lc.n_requests
+    trace = lc.trace
+    injector = lc.injector
+    goodput = lc.goodput
+    exponential = lc.exponential
+    emit = lc.emit
+
+    server_bytes = np.zeros(lc.cluster.n_servers)
+    latencies = np.full(n_requests, np.nan)
+
+    # Request bookkeeping.
+    req_remaining = np.empty(n_requests, dtype=np.int64)
+    req_post_fraction = np.empty(n_requests)
+    req_post_seconds = np.empty(n_requests)
+    req_miss = np.zeros(n_requests, dtype=bool)
+
+    # Flow state (parallel lists indexed by flow id).
+    f_server: list[int] = []
+    f_request: list[int] = []
+    f_remaining: list[float] = []
+    f_rate: list[float] = []
+    f_last: list[float] = []
+    f_gen: list[int] = []
+    f_extra: list[float] = []  # straggler report delay, seconds
+
+    # Only *active* flows hold bandwidth and appear in these sets; under
+    # a finite capacity the overflow waits, rate-0, in per-server FIFOs.
+    server_active: list[set[int]] = [
+        set() for _ in range(lc.cluster.n_servers)
+    ]
+    request_active: list[set[int]] = [set() for _ in range(n_requests)]
+    server_waiting: list[deque[int]] = [
+        deque() for _ in range(lc.cluster.n_servers)
+    ]
+
+    # Heap of (time, kind, a, b): kind 0 = arrival of request a; kind 1 =
+    # completion candidate for flow a with generation b; kind 2 = delayed
+    # join notification for flow a (straggler report).
+    heap: list[tuple[float, int, int, int]] = [
+        (float(t), 0, j, 0) for j, t in enumerate(trace.times)
+    ]
+    heapq.heapify(heap)
+
+    def advance(fid: int, t: float) -> None:
+        f_remaining[fid] = max(
+            f_remaining[fid] - f_rate[fid] * (t - f_last[fid]), 0.0
+        )
+        f_last[fid] = t
+
+    def rate_of(fid: int) -> float:
+        sid = f_server[fid]
+        rid = f_request[fid]
+        return min(
+            float(bandwidths[sid]) / len(server_active[sid]),
+            client_bw / len(request_active[rid]),
+        )
+
+    def reschedule(fid: int) -> None:
+        f_rate[fid] = rate_of(fid)
+        f_gen[fid] += 1
+        eta = f_last[fid] + f_remaining[fid] / f_rate[fid]
+        heapq.heappush(heap, (eta, 1, fid, f_gen[fid]))
+
+    def notify(j: int, t: float) -> None:
+        """One partition read reported complete to request ``j``'s join."""
+        req_remaining[j] -= 1
+        if req_remaining[j] == 0:
+            latency = lc.request_latency(
+                float(trace.times[j]),
+                t,
+                req_post_fraction[j],
+                req_post_seconds[j],
+                bool(req_miss[j]),
+            )
+            latencies[j] = latency
+            if emit:
+                lc.emit_read_done(
+                    ts=t,
+                    req=j,
+                    file_id=int(trace.file_ids[j]),
+                    latency=latency,
+                )
+
+    while heap:
+        t, kind, ident, gen = heapq.heappop(heap)
+
+        if kind == 0:
+            j = ident
+            fid0 = int(trace.file_ids[j])
+            op = lc.plan(fid0)
+            k = op.parallelism
+            sizes = op.sizes.astype(np.float64).copy()
+            if goodput is not None:
+                for pos in range(k):
+                    b = float(bandwidths[op.server_ids[pos]])
+                    sizes[pos] /= lc.goodput_factor(k, b)
+            if exponential:
+                sizes *= rng.exponential(1.0, size=k)
+            straggled = False
+            if injector.enabled:
+                extra, _mult = lc.report_delays(op)
+                straggled = bool(np.any(extra > 0.0))
+                lc.count_straggled(straggled)
+            else:
+                extra = np.zeros(k)
+            req_remaining[j] = op.join_count
+            req_post_fraction[j] = op.post_fraction
+            req_post_seconds[j] = op.post_seconds
+            req_miss[j] = lc.admit(fid0)
+
+            affected: set[int] = set()
+            new_active: list[int] = []
+            for pos in range(k):
+                sid = int(op.server_ids[pos])
+                fid = len(f_server)
+                f_server.append(sid)
+                f_request.append(j)
+                f_remaining.append(max(float(sizes[pos]), 1e-12))
+                f_rate.append(0.0)
+                f_last.append(t)
+                f_gen.append(0)
+                f_extra.append(float(extra[pos]))
+                server_bytes[sid] += op.sizes[pos]
+                if capacity is None or len(server_active[sid]) < capacity:
+                    affected.update(server_active[sid])
+                    server_active[sid].add(fid)
+                    request_active[j].add(fid)
+                    new_active.append(fid)
+                else:
+                    server_waiting[sid].append(fid)
+            if emit:
+                lc.emit_read(
+                    ts=float(t),
+                    req=j,
+                    file_id=fid0,
+                    op=op,
+                    straggled=straggled,
+                    missed=bool(req_miss[j]),
+                )
+            # Flows already active on touched servers lose share; bring
+            # them to t first, then recompute every rate under the new
+            # memberships.
+            for fid in affected:
+                advance(fid, t)
+            for fid in affected:
+                reschedule(fid)
+            for fid in new_active:
+                reschedule(fid)
+
+        elif kind == 1:
+            fid = ident
+            if gen != f_gen[fid]:
+                continue  # stale candidate
+            advance(fid, t)
+            sid = f_server[fid]
+            j = f_request[fid]
+            server_active[sid].discard(fid)
+            request_active[j].discard(fid)
+            f_gen[fid] += 1  # invalidate any residual candidates
+
+            if f_extra[fid] > 0.0:
+                # Straggler: bandwidth freed now, completion reported late.
+                heapq.heappush(heap, (t + f_extra[fid], 2, fid, 0))
+            else:
+                notify(j, t)
+
+            affected = server_active[sid] | request_active[j]
+            if capacity is not None and server_waiting[sid]:
+                # A slot freed: promote the longest-waiting flow.  Its
+                # activation also squeezes its request's flows elsewhere.
+                woken = server_waiting[sid].popleft()
+                f_last[woken] = t
+                server_active[sid].add(woken)
+                request_active[f_request[woken]].add(woken)
+                affected |= server_active[sid]
+                affected |= request_active[f_request[woken]]
+            for ofid in affected:
+                advance(ofid, t)
+            for ofid in affected:
+                reschedule(ofid)
+
+        else:  # kind == 2: delayed straggler report reaches the client
+            notify(f_request[ident], t)
+
+    if np.isnan(latencies).any():  # pragma: no cover - engine invariant
+        raise AssertionError("some requests never completed")
+
+    return lc.result(latencies, server_bytes)
+
+
+class PSDiscipline:
+    """Unbounded two-sided processor sharing (the testbed's behaviour)."""
+
+    name = "ps"
+
+    def run(self, lc: RequestLifecycle) -> SimulationResult:
+        return _run_heap(lc, capacity=None)
+
+
+class LimitedDiscipline:
+    """At most ``c`` concurrent flows per server, FIFO beyond that."""
+
+    def __init__(self, concurrency: float):
+        if concurrency != math.inf:
+            if concurrency != int(concurrency) or concurrency < 1:
+                raise ValueError(
+                    "limited(c) needs an integer concurrency >= 1 or inf, "
+                    f"got {concurrency!r}"
+                )
+        self.concurrency = concurrency
+        self.name = f"limited({concurrency:g})"
+
+    def run(self, lc: RequestLifecycle) -> SimulationResult:
+        capacity = (
+            None if self.concurrency == math.inf else int(self.concurrency)
+        )
+        return _run_heap(lc, capacity=capacity)
+
+
+def simulate_reads_ps(trace, planner, cluster, config) -> SimulationResult:
+    """Back-compat entry point: run ``trace`` under pure processor sharing.
+
+    Same signature and result type as
+    :func:`repro.cluster.simulation.simulate_reads`.
+    """
+    from repro.cluster.engine.lifecycle import SimulationConfig
+
+    config = config or SimulationConfig()
+    discipline = PSDiscipline()
+    return discipline.run(
+        RequestLifecycle(trace, planner, cluster, config, discipline.name)
+    )
+
+
+register_discipline(PSDiscipline.name, PSDiscipline)
+register_discipline("limited", LimitedDiscipline)

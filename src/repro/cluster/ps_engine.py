@@ -1,321 +1,15 @@
-"""Processor-sharing read engine with server- and client-side bandwidth.
+"""Back-compat shim: the processor-sharing engine moved to the core.
 
-The analytical model (and the fast engine in :mod:`.simulation`) treats each
-cache server as a FIFO single-channel queue — the paper's M/G/1 abstraction.
-A real Alluxio worker serves concurrent reads over parallel TCP streams that
-*share* its NIC, and the reading client's own NIC caps the aggregate rate of
-one request's parallel partition streams.  Both constraints shape the
-paper's measurements:
-
-* fair sharing at the server means a 3 MB hot-partition read is never stuck
-  behind an entire 100 MB cold transfer (no head-of-line blocking);
-* the client-side cap means a lone request finishes in roughly
-  ``S / client_bandwidth`` **no matter how many partitions it forks to** —
-  which is precisely why ever-finer splitting stops paying and the optimal
-  scale factor sits at an elbow.
-
-Rate model: flow ``f`` of request ``r`` on server ``s`` receives
-``min(B_s / n_s, B_c / n_r)`` bytes/second, where ``n_s`` counts active
-flows on the server and ``n_r`` active flows of the request.  (This is the
-bottleneck-cap allocation without residual-share redistribution — slightly
-conservative relative to full max-min water-filling, identical when one
-side clearly bottlenecks.)  Rates change only at flow arrival/completion,
-so an event-driven engine with lazily invalidated per-flow completion
-events simulates it exactly.
-
-A flow's *effective* bytes fold in the per-connection goodput loss
-(``size / g(fan_out)``) and an optional exponential jitter factor.
-Straggler injection follows the paper's "sleep the server thread"
-semantics: a straggling read's completion is *reported* late to the
-fork-join (by ``(m - 1) x`` its nominal transfer time) but the flow frees
-its bandwidth on time — a sleeping thread occupies no NIC.
+The event-heap implementation now lives in
+:mod:`repro.cluster.engine.shared_heap`, where it also powers the
+``limited(c)`` discipline.  Import :func:`simulate_reads_ps` from here
+for the old entry point, or just call
+:func:`repro.cluster.simulate_reads` with
+``SimulationConfig(discipline="ps")``.
 """
 
 from __future__ import annotations
 
-import heapq
-
-import numpy as np
-
-from repro.common import ClusterSpec, make_rng
-from repro.obs import events as ev
-from repro.obs.tracing import get_tracer
-from repro.store.lru import LRUCache
-from repro.workloads.arrivals import ArrivalTrace
+from repro.cluster.engine.shared_heap import simulate_reads_ps
 
 __all__ = ["simulate_reads_ps"]
-
-
-def _notify(
-    j: int,
-    t: float,
-    trace,
-    req_remaining,
-    req_post_fraction,
-    req_post_seconds,
-    req_miss,
-    latencies,
-    config,
-    tracer=None,
-    scheme="",
-) -> None:
-    """One partition read reported complete to request ``j``'s join."""
-    req_remaining[j] -= 1
-    if req_remaining[j] == 0:
-        latency = (t - float(trace.times[j])) * (
-            1.0 + req_post_fraction[j]
-        ) + req_post_seconds[j]
-        if req_miss[j]:
-            latency *= config.miss_penalty
-        latencies[j] = latency
-        if tracer is not None and tracer.enabled:
-            tracer.event(
-                ev.READ_DONE,
-                ts=t,
-                req=j,
-                scheme=scheme,
-                file_id=int(trace.file_ids[j]),
-                latency=float(latency),
-            )
-
-
-def simulate_reads_ps(trace, planner, cluster, config):
-    """Run a trace under two-sided processor sharing.
-
-    Same signature and result type as
-    :func:`repro.cluster.simulation.simulate_reads`.
-    """
-    # Imported here: simulation.py imports this module's entry point.
-    from repro.cluster.simulation import (
-        SimulationConfig,
-        SimulationResult,
-        planner_name,
-        record_run_metrics,
-    )
-
-    assert isinstance(trace, ArrivalTrace)
-    assert isinstance(cluster, ClusterSpec)
-    config = config or SimulationConfig()
-    tracer = config.tracer if config.tracer is not None else get_tracer()
-    emit = tracer.enabled
-    scheme = planner_name(planner)
-    straggler_reads = 0
-    rng = make_rng(config.seed)
-    bandwidths = cluster.bandwidths
-    client_bw = cluster.effective_client_bandwidth
-    n_requests = trace.n_requests
-
-    server_bytes = np.zeros(cluster.n_servers)
-    latencies = np.full(n_requests, np.nan)
-
-    injector = config.stragglers
-    straggler_mask = (
-        injector.straggler_servers(cluster.n_servers, seed=rng)
-        if injector.enabled and injector.mode == "per_server"
-        else None
-    )
-    goodput = config.goodput
-    exponential = config.jitter == "exponential"
-
-    lru: LRUCache | None = None
-    hits = misses = 0
-    if config.cache_budget is not None:
-        lru = LRUCache(config.cache_budget)
-
-    # Request bookkeeping.
-    req_remaining = np.empty(n_requests, dtype=np.int64)
-    req_post_fraction = np.empty(n_requests)
-    req_post_seconds = np.empty(n_requests)
-    req_miss = np.zeros(n_requests, dtype=bool)
-
-    # Flow state (parallel lists indexed by flow id).
-    f_server: list[int] = []
-    f_request: list[int] = []
-    f_remaining: list[float] = []
-    f_rate: list[float] = []
-    f_last: list[float] = []
-    f_gen: list[int] = []
-    f_extra: list[float] = []  # straggler report delay, seconds
-
-    server_flows: list[set[int]] = [set() for _ in range(cluster.n_servers)]
-    request_flows: list[set[int]] = [set() for _ in range(n_requests)]
-
-    # Heap of (time, kind, a, b): kind 0 = arrival of request a; kind 1 =
-    # completion candidate for flow a with generation b; kind 2 = delayed
-    # join notification for flow a (straggler report).
-    heap: list[tuple[float, int, int, int]] = [
-        (float(t), 0, j, 0) for j, t in enumerate(trace.times)
-    ]
-    heapq.heapify(heap)
-
-    def advance(fid: int, t: float) -> None:
-        f_remaining[fid] = max(
-            f_remaining[fid] - f_rate[fid] * (t - f_last[fid]), 0.0
-        )
-        f_last[fid] = t
-
-    def rate_of(fid: int) -> float:
-        sid = f_server[fid]
-        rid = f_request[fid]
-        return min(
-            float(bandwidths[sid]) / len(server_flows[sid]),
-            client_bw / len(request_flows[rid]),
-        )
-
-    def reschedule(fid: int) -> None:
-        f_rate[fid] = rate_of(fid)
-        f_gen[fid] += 1
-        eta = f_last[fid] + f_remaining[fid] / f_rate[fid]
-        heapq.heappush(heap, (eta, 1, fid, f_gen[fid]))
-
-    while heap:
-        t, kind, ident, gen = heapq.heappop(heap)
-
-        if kind == 0:
-            j = ident
-            fid0 = int(trace.file_ids[j])
-            op = planner.plan_read(fid0, rng)
-            k = op.parallelism
-            sizes = op.sizes.astype(np.float64).copy()
-            if goodput is not None:
-                for pos in range(k):
-                    b = float(bandwidths[op.server_ids[pos]])
-                    sizes[pos] /= goodput.factor(k, b)
-            if exponential:
-                sizes *= rng.exponential(1.0, size=k)
-            straggled = False
-            if injector.enabled:
-                mult = injector.multipliers(
-                    op.server_ids, straggler_mask=straggler_mask, seed=rng
-                )
-                extra = (mult - 1.0) * (
-                    op.sizes / bandwidths[op.server_ids]
-                )
-                straggled = bool(np.any(extra > 0.0))
-                straggler_reads += straggled
-            else:
-                extra = np.zeros(k)
-            req_remaining[j] = op.join_count
-            req_post_fraction[j] = op.post_fraction
-            req_post_seconds[j] = op.post_seconds
-            if lru is not None:
-                if lru.touch(fid0):
-                    hits += 1
-                else:
-                    misses += 1
-                    req_miss[j] = True
-                    lru.put(fid0, planner.footprint(fid0))
-
-            affected: set[int] = set()
-            new_ids: list[int] = []
-            for pos in range(k):
-                sid = int(op.server_ids[pos])
-                fid = len(f_server)
-                new_ids.append(fid)
-                f_server.append(sid)
-                f_request.append(j)
-                f_remaining.append(max(float(sizes[pos]), 1e-12))
-                f_rate.append(0.0)
-                f_last.append(t)
-                f_gen.append(0)
-                f_extra.append(float(extra[pos]))
-                affected.update(server_flows[sid])
-                server_flows[sid].add(fid)
-                request_flows[j].add(fid)
-                server_bytes[sid] += op.sizes[pos]
-            if emit:
-                tracer.event(
-                    ev.READ,
-                    ts=float(t),
-                    req=j,
-                    scheme=scheme,
-                    file_id=fid0,
-                    servers=[int(s) for s in op.server_ids],
-                    sizes=[float(b) for b in op.sizes],
-                    straggler=straggled,
-                    miss=bool(req_miss[j]),
-                )
-            # Existing flows on touched servers lose share; bring them to t
-            # first, then recompute every rate under the new memberships.
-            for fid in affected:
-                advance(fid, t)
-            for fid in affected:
-                reschedule(fid)
-            for fid in new_ids:
-                reschedule(fid)
-
-        elif kind == 1:
-            fid = ident
-            if gen != f_gen[fid]:
-                continue  # stale candidate
-            advance(fid, t)
-            sid = f_server[fid]
-            j = f_request[fid]
-            server_flows[sid].discard(fid)
-            request_flows[j].discard(fid)
-            f_gen[fid] += 1  # invalidate any residual candidates
-
-            if f_extra[fid] > 0.0:
-                # Straggler: bandwidth freed now, completion reported late.
-                heapq.heappush(heap, (t + f_extra[fid], 2, fid, 0))
-            else:
-                _notify(
-                    j,
-                    t,
-                    trace,
-                    req_remaining,
-                    req_post_fraction,
-                    req_post_seconds,
-                    req_miss,
-                    latencies,
-                    config,
-                    tracer,
-                    scheme,
-                )
-
-            affected = server_flows[sid] | request_flows[j]
-            for ofid in affected:
-                advance(ofid, t)
-            for ofid in affected:
-                reschedule(ofid)
-
-        else:  # kind == 2: delayed straggler report reaches the client
-            fid = ident
-            _notify(
-                f_request[fid],
-                t,
-                trace,
-                req_remaining,
-                req_post_fraction,
-                req_post_seconds,
-                req_miss,
-                latencies,
-                config,
-                tracer,
-                scheme,
-            )
-
-    if np.isnan(latencies).any():  # pragma: no cover - engine invariant
-        raise AssertionError("some requests never completed")
-
-    metrics = record_run_metrics(
-        scheme=scheme,
-        engine="ps",
-        server_bytes=server_bytes,
-        latencies=latencies,
-        hits=hits,
-        misses=misses,
-        straggler_reads=straggler_reads,
-        tracer=tracer,
-        end_ts=float(trace.times[-1]) if n_requests else 0.0,
-    )
-    return SimulationResult(
-        latencies=latencies,
-        arrival_times=trace.times.copy(),
-        file_ids=trace.file_ids.copy(),
-        server_bytes=server_bytes,
-        hits=hits,
-        misses=misses,
-        config=config,
-        metrics=metrics,
-    )

@@ -1,174 +1,49 @@
-"""The fork-join read simulator.
+"""The fork-join read simulator: a thin dispatcher over the engine core.
 
-Model (matching Sec. 5.3 plus the two measured effects its analysis omits):
+Model (matching Sec. 5.3 plus the two measured effects its analysis
+omits): a request for file ``i`` arriving at ``t`` forks one read per
+partition; all forks enqueue at ``t`` and the file completes when
+``join_count`` of them finish (all of them for plain partitioning, ``k``
+of ``k + 1`` for EC-Cache's late binding), plus any post-join decode
+delay.  Per-connection goodput loss shrinks effective bandwidth, an
+injected straggler delays the read's *reported* completion without
+holding the server, and with a throttled cache budget a cluster-wide
+file-granularity LRU charges misses ``miss_penalty`` times the hit
+latency (the Sec. 7.7 assumption).
 
-* each cache server is a FIFO single-channel queue; serving a partition of
-  ``b`` bytes at bandwidth ``B_s`` takes ``b / (B_s * goodput)`` seconds,
-  optionally exponentially jittered (the paper's service-time assumption);
-  an injected straggler delays the read's *reported* completion without
-  holding the server (the injection sleeps a thread, not the NIC);
-* a request for file ``i`` arriving at ``t`` forks one read per partition;
-  all forks enqueue at ``t`` and the file completes when ``join_count`` of
-  them finish (all of them for plain partitioning, ``k`` of ``k + 1`` for
-  EC-Cache's late binding), plus any post-join decode delay;
-* with a throttled cache budget, residency is tracked by a cluster-wide
-  file-granularity LRU; a miss costs ``miss_penalty`` times the hit latency
-  (the Sec. 7.7 assumption) and re-admits the file.
-
-Exactness without an event heap: every fork of a request arrives at the
-request's arrival instant, and requests are processed in nondecreasing
-arrival time, so per-server FIFO order equals processing order — a
-per-server ``free_at`` clock yields the same schedule an event-driven
-simulator would.  ``tests/test_cluster/test_simulation_exactness.py`` checks
-this against an independent heap-based M/M/1 implementation.
+*How a server schedules concurrent reads* is pluggable: the shared
+request lifecycle lives in :mod:`repro.cluster.engine.lifecycle` and the
+service discipline (``"fifo"``, ``"ps"``, ``"limited(c)"``, or any
+registered :class:`~repro.cluster.engine.ServerDiscipline`) is selected
+by :attr:`SimulationConfig.discipline` through the registry in
+:mod:`repro.cluster.engine.registry`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Literal
-
-import numpy as np
-
-from repro.cluster.client import ReadOp, ReadPlanner
-from repro.cluster.metrics import (
-    LatencySummary,
-    imbalance_factor,
-    summarize_latencies,
+from repro.cluster.engine import (
+    RequestLifecycle,
+    SimulationConfig,
+    SimulationResult,
+    planner_name,
+    record_run_metrics,
+    resolve_discipline,
 )
-from repro.cluster.network import GoodputModel
-from repro.cluster.stragglers import StragglerInjector
-from repro.common import ClusterSpec, make_rng
-from repro.obs import events as ev
-from repro.obs.metrics import get_registry
-from repro.obs.tracing import Tracer, get_tracer
-from repro.store.lru import LRUCache
+from repro.common import ClusterSpec
 from repro.workloads.arrivals import ArrivalTrace
 
-__all__ = ["SimulationConfig", "SimulationResult", "simulate_reads"]
-
-
-def planner_name(planner: object) -> str:
-    """Scheme label used on trace events and metric labels."""
-    return str(getattr(planner, "name", type(planner).__name__))
-
-
-def record_run_metrics(
-    *,
-    scheme: str,
-    engine: str,
-    server_bytes: np.ndarray,
-    latencies: np.ndarray,
-    hits: int,
-    misses: int,
-    straggler_reads: int,
-    tracer: Tracer,
-    end_ts: float,
-) -> dict[str, float | int | str]:
-    """End-of-run accounting shared by both engines.
-
-    Pushes run aggregates into the process-wide registry (labelled by
-    ``scheme``/``engine``; per-server bytes labelled by ``server_id``),
-    emits one ``simulation_end`` event when tracing, and returns the
-    snapshot stored on :attr:`SimulationResult.metrics`.
-    """
-    metrics: dict[str, float | int | str] = {
-        "scheme": scheme,
-        "engine": engine,
-        "n_servers": int(server_bytes.size),
-        "requests": int(latencies.size),
-        "hits": int(hits),
-        "misses": int(misses),
-        "bytes_served": float(server_bytes.sum()),
-        "imbalance_eta": imbalance_factor(server_bytes),
-        "straggler_reads": int(straggler_reads),
-    }
-    reg = get_registry()
-    lab = {"scheme": scheme, "engine": engine}
-    reg.counter("sim.requests", **lab).inc(latencies.size)
-    reg.counter("sim.hits", **lab).inc(hits)
-    reg.counter("sim.misses", **lab).inc(misses)
-    reg.counter("sim.bytes_served", **lab).inc(metrics["bytes_served"])
-    reg.counter("sim.straggler_reads", **lab).inc(straggler_reads)
-    reg.histogram("sim.latency_seconds", **lab).observe_many(latencies)
-    for sid, served in enumerate(server_bytes):
-        reg.counter(
-            "sim.server_bytes", scheme=scheme, server_id=sid
-        ).inc(float(served))
-    if tracer.enabled:
-        tracer.event(ev.SIMULATION_END, ts=end_ts, **metrics)
-    return metrics
-
-
-@dataclass(frozen=True)
-class SimulationConfig:
-    """Knobs of one simulation run.
-
-    ``discipline`` selects the server model: ``"fifo"`` is the paper's
-    M/G/1 abstraction (one transfer at a time — what the Eq. 9 bound
-    assumes, validated exactly by the fast engine here); ``"ps"`` is
-    processor sharing (parallel TCP streams splitting the NIC — how the
-    EC2 testbed actually behaves; see :mod:`repro.cluster.ps_engine`).
-
-    ``tracer`` overrides the process-wide tracer for this run (``None``
-    means use :func:`repro.obs.get_tracer`, a no-op unless installed).
-    """
-
-    discipline: Literal["fifo", "ps"] = "ps"
-    jitter: Literal["exponential", "deterministic"] = "exponential"
-    goodput: GoodputModel | None = field(default_factory=GoodputModel)
-    stragglers: StragglerInjector = field(default_factory=StragglerInjector.none)
-    seed: int | None = 0
-    cache_budget: float | None = None  # cluster-wide bytes; None = unbounded
-    miss_penalty: float = 3.0
-    warmup_fraction: float = 0.1
-    tracer: Tracer | None = None
-
-    def __post_init__(self) -> None:
-        if self.cache_budget is not None and self.cache_budget <= 0:
-            raise ValueError("cache_budget must be positive")
-        if self.miss_penalty < 1:
-            raise ValueError("miss_penalty must be >= 1")
-        if not 0 <= self.warmup_fraction < 1:
-            raise ValueError("warmup_fraction must be in [0, 1)")
-
-
-@dataclass
-class SimulationResult:
-    """Per-request outcomes plus per-server accounting."""
-
-    latencies: np.ndarray
-    arrival_times: np.ndarray
-    file_ids: np.ndarray
-    server_bytes: np.ndarray  # bytes served per server (the Fig. 12 "load")
-    hits: int
-    misses: int
-    config: SimulationConfig
-    #: End-of-run observability snapshot (requests, hits/misses, bytes,
-    #: imbalance eta, straggler reads) — what ``simulation_end`` carries.
-    metrics: dict = field(default_factory=dict)
-
-    @property
-    def n_requests(self) -> int:
-        return int(self.latencies.size)
-
-    @property
-    def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 1.0
-
-    def steady_state_latencies(self) -> np.ndarray:
-        """Latencies with the warmup prefix dropped."""
-        skip = int(self.n_requests * self.config.warmup_fraction)
-        return self.latencies[skip:]
-
-    def summary(self) -> LatencySummary:
-        return summarize_latencies(self.steady_state_latencies())
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "planner_name",
+    "record_run_metrics",
+    "simulate_reads",
+]
 
 
 def simulate_reads(
     trace: ArrivalTrace,
-    planner: ReadPlanner,
+    planner,
     cluster: ClusterSpec,
     config: SimulationConfig | None = None,
 ) -> SimulationResult:
@@ -176,151 +51,12 @@ def simulate_reads(
 
     ``planner`` is any policy from :mod:`repro.policies` (or anything
     honouring the :class:`~repro.cluster.client.ReadPlanner` protocol).
+    The server model comes from ``config.discipline`` — see
+    :class:`SimulationConfig`.
     """
     config = config or SimulationConfig()
-    if config.discipline == "ps":
-        from repro.cluster.ps_engine import simulate_reads_ps
-
-        return simulate_reads_ps(trace, planner, cluster, config)
-    rng = make_rng(config.seed)
-    bandwidths = cluster.bandwidths
-    n_requests = trace.n_requests
-
-    free_at = np.zeros(cluster.n_servers)
-    server_bytes = np.zeros(cluster.n_servers)
-    latencies = np.empty(n_requests)
-
-    exponential = config.jitter == "exponential"
-    goodput = config.goodput
-    injector = config.stragglers
-    straggler_mask = (
-        injector.straggler_servers(cluster.n_servers, seed=rng)
-        if injector.enabled and injector.mode == "per_server"
-        else None
+    discipline = resolve_discipline(config.discipline)
+    lifecycle = RequestLifecycle(
+        trace, planner, cluster, config, engine=discipline.name
     )
-
-    lru: LRUCache | None = None
-    hits = misses = 0
-    if config.cache_budget is not None:
-        lru = LRUCache(config.cache_budget)
-
-    tracer = config.tracer if config.tracer is not None else get_tracer()
-    emit = tracer.enabled  # hoisted: disabled tracing costs one bool check
-    scheme = planner_name(planner)
-    straggler_reads = 0
-
-    # Memoize goodput factors: parallelism is a small integer and bandwidth
-    # comes from a short array, so this avoids one interpolation per request.
-    factor_memo: dict[tuple[int, float], float] = {}
-
-    def goodput_factor(parallelism: int, bandwidth: float) -> float:
-        if goodput is None:
-            return 1.0
-        key = (parallelism, bandwidth)
-        cached = factor_memo.get(key)
-        if cached is None:
-            cached = goodput.factor(parallelism, bandwidth)
-            factor_memo[key] = cached
-        return cached
-
-    times = trace.times
-    file_ids = trace.file_ids
-    for j in range(n_requests):
-        t = times[j]
-        fid = int(file_ids[j])
-        op: ReadOp = planner.plan_read(fid, rng)
-        servers = op.server_ids
-        bw = bandwidths[servers]
-
-        # Base service times, with goodput loss from this request's fan-out.
-        if bw.size > 1 and np.ptp(bw) > 0:
-            factors = np.array(
-                [goodput_factor(op.parallelism, b) for b in bw]
-            )
-        else:
-            factors = goodput_factor(op.parallelism, float(bw[0]))
-        service = op.sizes / (bw * factors)
-        if exponential:
-            service = rng.exponential(service)
-
-        start = np.maximum(t, free_at[servers])
-        completion = start + service
-        free_at[servers] = completion
-        server_bytes[servers] += op.sizes
-
-        # Straggler injection: the paper sleeps the serving thread, so the
-        # read's completion is delayed without occupying the NIC — the
-        # fork-join sees the late time, the queue does not.
-        reported = completion
-        straggled = False
-        if injector.enabled:
-            mult = injector.multipliers(
-                servers, straggler_mask=straggler_mask, seed=rng
-            )
-            reported = completion + (mult - 1.0) * (op.sizes / bw)
-            straggled = bool(np.any(mult > 1.0))
-            straggler_reads += straggled
-
-        if op.join_count < reported.size:
-            join_at = np.partition(reported, op.join_count - 1)[
-                op.join_count - 1
-            ]
-        else:
-            join_at = reported.max()
-        latency = (join_at - t) * (1.0 + op.post_fraction) + op.post_seconds
-
-        missed = False
-        if lru is not None:
-            if lru.touch(fid):
-                hits += 1
-            else:
-                misses += 1
-                missed = True
-                latency *= config.miss_penalty
-                lru.put(fid, planner.footprint(fid))
-        latencies[j] = latency
-
-        if emit:
-            tracer.event(
-                ev.READ,
-                ts=float(t),
-                req=j,
-                scheme=scheme,
-                file_id=fid,
-                servers=[int(s) for s in servers],
-                sizes=[float(b) for b in op.sizes],
-                queue_wait=float(np.max(start - t)),
-                service=float(np.max(service)),
-                straggler=straggled,
-                miss=missed,
-            )
-            tracer.event(
-                ev.READ_DONE,
-                ts=float(t + latency),
-                req=j,
-                scheme=scheme,
-                file_id=fid,
-                latency=float(latency),
-            )
-
-    metrics = record_run_metrics(
-        scheme=scheme,
-        engine="fifo",
-        server_bytes=server_bytes,
-        latencies=latencies,
-        hits=hits,
-        misses=misses,
-        straggler_reads=straggler_reads,
-        tracer=tracer,
-        end_ts=float(times[-1]) if n_requests else 0.0,
-    )
-    return SimulationResult(
-        latencies=latencies,
-        arrival_times=times.copy(),
-        file_ids=file_ids.copy(),
-        server_bytes=server_bytes,
-        hits=hits,
-        misses=misses,
-        config=config,
-        metrics=metrics,
-    )
+    return discipline.run(lifecycle)

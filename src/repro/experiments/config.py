@@ -43,14 +43,17 @@ def sim_config(
     stragglers: StragglerInjector | None = None,
     cache_budget: float | None = None,
     seed: int = DEFAULTS.seed_sim,
+    discipline: str = "ps",
 ) -> SimulationConfig:
     """The EC2-reproduction simulation settings.
 
     Processor-sharing servers, deterministic transfers (real byte streams),
     natural stragglers by default — see DESIGN.md's substitution notes.
+    ``discipline`` accepts any engine-registry spec (``"fifo"``, ``"ps"``,
+    ``"limited(c)"``) for what-if runs under other server models.
     """
     return SimulationConfig(
-        discipline="ps",
+        discipline=discipline,
         jitter="deterministic",
         stragglers=stragglers
         if stragglers is not None

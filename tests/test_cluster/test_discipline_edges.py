@@ -1,0 +1,111 @@
+"""Degenerate inputs through every registered discipline.
+
+Zero-request traces and single-server clusters — the corners where the
+heap engine has nothing to pop and ``record_run_metrics`` has no last
+arrival to stamp ``simulation_end`` with (it must fall back to 0.0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    SimulationConfig,
+    available_disciplines,
+    simulate_reads,
+)
+from repro.cluster.client import ReadOp
+from repro.common import ClusterSpec
+from repro.obs import RingBufferSink, Tracer
+from repro.obs.events import SIMULATION_END
+from repro.workloads.arrivals import ArrivalTrace
+
+
+def _specs() -> list[str]:
+    """One runnable spec per registered discipline name."""
+    return [
+        "limited(2)" if name == "limited" else name
+        for name in available_disciplines()
+    ]
+
+
+class _SingleServerPlanner:
+    def plan_read(self, fid, rng):
+        return ReadOp(server_ids=np.array([0]), sizes=np.array([2.0]))
+
+    def footprint(self, fid):
+        return 2.0
+
+
+def _cfg(discipline, **kw):
+    base = dict(
+        discipline=discipline, jitter="deterministic", goodput=None, seed=0
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+@pytest.mark.parametrize("discipline", _specs())
+def test_zero_request_trace(discipline):
+    trace = ArrivalTrace(np.empty(0), np.empty(0, dtype=np.int64))
+    cluster = ClusterSpec(n_servers=3, bandwidth=1.0)
+    result = simulate_reads(
+        trace, _SingleServerPlanner(), cluster, _cfg(discipline)
+    )
+    assert result.n_requests == 0
+    assert result.latencies.size == 0
+    assert result.hit_ratio == 1.0
+    assert np.all(result.server_bytes == 0.0)
+    assert result.metrics["requests"] == 0
+    assert result.metrics["bytes_served"] == 0.0
+    with pytest.raises(ValueError):  # empty samples are an upstream bug
+        result.summary()
+
+
+@pytest.mark.parametrize("discipline", _specs())
+def test_zero_request_trace_simulation_end_ts_falls_back(discipline):
+    """With no arrivals there is no clock; ``simulation_end`` stamps 0.0."""
+    sink = RingBufferSink()
+    trace = ArrivalTrace(np.empty(0), np.empty(0, dtype=np.int64))
+    cluster = ClusterSpec(n_servers=2, bandwidth=1.0)
+    simulate_reads(
+        trace,
+        _SingleServerPlanner(),
+        cluster,
+        _cfg(discipline, tracer=Tracer(sink)),
+    )
+    ends = [r for r in sink.records if r["event"] == SIMULATION_END]
+    assert len(ends) == 1
+    assert ends[0]["ts"] == 0.0
+    assert ends[0]["requests"] == 0
+
+
+@pytest.mark.parametrize("discipline", _specs())
+def test_single_server_cluster(discipline):
+    """n_servers=1 collapses every fork to one queue; bytes conserve and
+    latencies are at least the wire time."""
+    n = 40
+    trace = ArrivalTrace(
+        np.linspace(0.0, 20.0, n), np.zeros(n, dtype=np.int64)
+    )
+    cluster = ClusterSpec(n_servers=1, bandwidth=2.0, client_bandwidth=1e12)
+    result = simulate_reads(
+        trace, _SingleServerPlanner(), cluster, _cfg(discipline)
+    )
+    assert result.server_bytes.shape == (1,)
+    assert result.server_bytes[0] == pytest.approx(2.0 * n)
+    assert np.all(result.latencies >= 1.0 - 1e-12)  # 2 bytes at rate 2
+    assert np.all(np.isfinite(result.latencies))
+
+
+@pytest.mark.parametrize("discipline", _specs())
+def test_single_request_single_server(discipline):
+    """The smallest possible run: one read, one server, exact wire time."""
+    trace = ArrivalTrace(np.array([0.0]), np.array([0]))
+    cluster = ClusterSpec(n_servers=1, bandwidth=2.0, client_bandwidth=1e12)
+    result = simulate_reads(
+        trace, _SingleServerPlanner(), cluster, _cfg(discipline)
+    )
+    assert result.latencies[0] == pytest.approx(1.0)
+    assert result.metrics["engine"]  # discipline stamped its name
