@@ -7,15 +7,27 @@ micro-benchmarks) and prints the paper-vs-measured table so
 
 ``REPRO_BENCH_SCALE`` (default 1.0) shrinks simulated request counts for
 quick passes.
+
+After a ``--benchmark-only`` pass the session also writes a
+machine-readable ``BENCH_<timestamp>.json`` next to the working
+directory: per-experiment wall seconds, the scale the pass ran at, and
+the git sha — the same shape ``repro report`` expects from run
+manifests' timing data, so bench results can be archived alongside them.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 import pytest
 
 from repro.analysis.tables import format_table
+from repro.obs.runinfo import git_sha
+
+#: Wall seconds per experiment runner, filled by :func:`run_experiment`.
+_WALL_SECONDS: dict[str, float] = {}
 
 
 def bench_scale() -> float:
@@ -36,6 +48,31 @@ def report():
 
 def run_experiment(benchmark, runner, **kwargs):
     """Run ``runner`` exactly once under the benchmark fixture."""
-    return benchmark.pedantic(
+    name = runner.__name__.removeprefix("run_")
+    start = time.perf_counter()
+    result = benchmark.pedantic(
         lambda: runner(**kwargs), rounds=1, iterations=1, warmup_rounds=0
     )
+    _WALL_SECONDS[name] = time.perf_counter() - start
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """After a ``--benchmark-only`` pass, persist the wall times as JSON."""
+    if not _WALL_SECONDS:
+        return
+    if not session.config.getoption("benchmark_only", default=False):
+        return
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    path = os.path.join(str(session.config.rootpath), f"BENCH_{stamp}.json")
+    payload = {
+        "schema_version": 1,
+        "created_unix": time.time(),
+        "git_sha": git_sha(),
+        "bench_scale": bench_scale(),
+        "wall_seconds": dict(sorted(_WALL_SECONDS.items())),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nbench wall times: {len(_WALL_SECONDS)} experiment(s) -> {path}")

@@ -14,10 +14,16 @@ Subcommands
     event stream (schema in ``docs/observability.md``).
 ``stats``
     Replay a JSONL trace into per-server load vectors, an optional load
-    timeline, and a per-scheme summary table.
+    timeline, a per-scheme summary table, and the per-scheme end-of-run
+    metric snapshots (``METRIC_SNAPSHOT_KEYS`` ordering).
 ``experiments``
-    Regenerate evaluation tables (thin wrapper over
-    ``repro.experiments.run_all``).
+    Regenerate evaluation tables and ``results/<exp>.json`` run
+    manifests (thin wrapper over ``repro.experiments.run_all``; also
+    forwards ``--trace`` / ``--chrome-trace``).
+``report``
+    Aggregate run manifests into a markdown summary; ``--diff BASE``
+    compares against a baseline manifest set and exits non-zero on
+    wall-time or metric regressions (the CI gate).
 
 ``simulate`` and ``compare`` accept ``--seed`` (reproducible runs),
 ``--json`` (machine-parseable output), ``--trace PATH`` (record the
@@ -52,10 +58,20 @@ from repro.obs import (
     Tracer,
     event_counts,
     load_events,
+    load_manifest_dir,
     load_timeline,
+    metrics_snapshots,
     per_server_loads,
     trace_summary,
     use_tracer,
+)
+from repro.obs.report import (
+    METRIC_TOLERANCE,
+    MIN_WALL_S,
+    WALL_TOLERANCE,
+    diff_manifests,
+    render_diff,
+    render_report,
 )
 from repro.policies import (
     ECCachePolicy,
@@ -349,6 +365,17 @@ def _cmd_stats(args) -> int:
             print()
             _print_rows(timeline_rows, args, title="load timeline")
 
+    snapshots = metrics_snapshots(events)
+    if snapshots:
+        # One row per scheme, columns in the documented
+        # METRIC_SNAPSHOT_KEYS order (the keys arrive pre-ordered).
+        payload["metrics"] = snapshots
+        if not args.json:
+            print()
+            _print_rows(
+                list(snapshots.values()), args, title="metrics snapshot"
+            )
+
     counts = event_counts(events)
     payload["events"] = counts
     if args.json:
@@ -370,7 +397,75 @@ def _cmd_experiments(args) -> int:
     if args.only:
         forwarded += ["--only", args.only]
     forwarded += ["--scale", str(args.scale), "--out", args.out]
+    if args.trace:
+        forwarded += ["--trace", args.trace]
+    if args.chrome_trace:
+        forwarded += ["--chrome-trace", args.chrome_trace]
     return run_all_main(forwarded)
+
+
+def _load_manifests(path: str) -> tuple[dict, list[str]] | None:
+    """Load a manifest directory, reporting failure to stderr."""
+    import pathlib
+
+    p = pathlib.Path(path)
+    if not p.is_dir():
+        print(f"no such manifest directory: {path}", file=sys.stderr)
+        return None
+    manifests, skipped = load_manifest_dir(p)
+    for name in skipped:
+        print(f"skipping {p / name}: not a run manifest", file=sys.stderr)
+    return manifests, skipped
+
+
+def _cmd_report(args) -> int:
+    """Aggregate ``results/*.json`` manifests; diff against a baseline."""
+    loaded = _load_manifests(args.results)
+    if loaded is None:
+        return 2
+    manifests, _ = loaded
+    if not manifests:
+        print(f"no run manifests under {args.results}", file=sys.stderr)
+        return 2
+
+    if args.diff is None:
+        if args.json:
+            print(json.dumps(manifests, indent=2, default=str))
+        else:
+            text = render_report(manifests)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                print(f"report: {len(manifests)} manifest(s) -> {args.out}")
+            else:
+                print(text, end="")
+        return 0
+
+    base_loaded = _load_manifests(args.diff)
+    if base_loaded is None:
+        return 2
+    base, _ = base_loaded
+    if not base:
+        print(f"no baseline manifests under {args.diff}", file=sys.stderr)
+        return 2
+    regressions = diff_manifests(
+        base,
+        manifests,
+        wall_tolerance=args.wall_tolerance,
+        metric_tolerance=args.metric_tolerance,
+        min_wall_s=args.min_wall_s,
+    )
+    if args.json:
+        print(json.dumps(regressions, indent=2, default=str))
+    else:
+        text = render_diff(regressions, n_base=len(base), n_new=len(manifests))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"diff: {len(regressions)} regression(s) -> {args.out}")
+        else:
+            print(text, end="")
+    return 1 if regressions else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -450,7 +545,50 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--only", default=None)
     p_exp.add_argument("--scale", type=float, default=1.0)
     p_exp.add_argument("--out", default="results")
+    p_exp.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a JSONL event trace of the whole pass to PATH",
+    )
+    p_exp.add_argument(
+        "--chrome-trace", default=None, dest="chrome_trace", metavar="PATH",
+        help="write a Chrome/Perfetto trace-event timeline to PATH",
+    )
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_rep = sub.add_parser(
+        "report", help="aggregate run manifests; --diff flags regressions"
+    )
+    p_rep.add_argument(
+        "results", nargs="?", default="results", metavar="DIR",
+        help="directory of results/<exp>.json run manifests",
+    )
+    p_rep.add_argument(
+        "--diff", default=None, metavar="BASE",
+        help="baseline manifest directory; exit 1 if DIR regressed vs BASE",
+    )
+    p_rep.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the markdown to FILE instead of stdout",
+    )
+    p_rep.add_argument(
+        "--json", action="store_true", help="machine-parseable JSON output"
+    )
+    p_rep.add_argument(
+        "--wall-tolerance", type=float, default=WALL_TOLERANCE,
+        dest="wall_tolerance", metavar="FRAC",
+        help="relative wall-time slack before flagging (default %(default)s)",
+    )
+    p_rep.add_argument(
+        "--metric-tolerance", type=float, default=METRIC_TOLERANCE,
+        dest="metric_tolerance", metavar="FRAC",
+        help="relative metric slack before flagging (default %(default)s)",
+    )
+    p_rep.add_argument(
+        "--min-wall-s", type=float, default=MIN_WALL_S,
+        dest="min_wall_s", metavar="SEC",
+        help="ignore wall regressions smaller than SEC (default %(default)s)",
+    )
+    p_rep.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -28,7 +28,7 @@ from repro.core.scale_factor import optimal_scale_factor
 from repro.core.partitioner import partition_counts
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
-from repro.obs.profiling import profiled
+from repro.obs.spans import span
 from repro.obs.tracing import get_tracer
 
 __all__ = [
@@ -81,7 +81,7 @@ def plan_repartition(
     if old_ks.shape != (n,) or len(old_servers_of) != n:
         raise ValueError("old layout must cover every file")
 
-    with profiled("repartition_plan"):
+    with span("repartition_plan", n_files=n):
         plan = _plan_repartition(
             population, cluster, old_ks, old_servers_of, alpha, rng
         )

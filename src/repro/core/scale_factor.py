@@ -22,6 +22,7 @@ from repro.core.partitioner import partition_counts
 from repro.core.placement import extend_placement, place_partitions_random
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.obs.tracing import get_tracer
 
 __all__ = ["ScaleFactorSearch", "optimal_scale_factor"]
@@ -113,41 +114,50 @@ def optimal_scale_factor(
     prev_bound = np.inf
     prev_ks: np.ndarray | None = None
     servers_of: list[np.ndarray] | None = None
-    for _ in range(max_iterations):
-        ks = partition_counts(population, alpha, n_servers=cluster.n_servers)
-        if servers_of is None:
-            servers_of = place_partitions_random(ks, cluster.n_servers, seed=rng)
-        else:
-            servers_of = extend_placement(
-                servers_of, ks, cluster.n_servers, seed=rng
+    with span("scale_search", mode=mode):
+        for _ in range(max_iterations):
+            ks = partition_counts(
+                population, alpha, n_servers=cluster.n_servers
             )
-        bound = model.evaluate(ks, servers_of).mean_bound
-        trajectory.append((alpha, bound))
-        if tracer.enabled:
-            tracer.event(
-                ev.SCALE_ITER,
-                iteration=len(trajectory),
-                alpha=float(alpha),
-                bound=float(bound),
-                max_k=int(ks.max()),
-            )
+            if servers_of is None:
+                servers_of = place_partitions_random(
+                    ks, cluster.n_servers, seed=rng
+                )
+            else:
+                servers_of = extend_placement(
+                    servers_of, ks, cluster.n_servers, seed=rng
+                )
+            bound = model.evaluate(ks, servers_of).mean_bound
+            trajectory.append((alpha, bound))
+            if tracer.enabled:
+                tracer.event(
+                    ev.SCALE_ITER,
+                    iteration=len(trajectory),
+                    alpha=float(alpha),
+                    bound=float(bound),
+                    max_k=int(ks.max()),
+                )
 
-        if mode == "paper" and np.isfinite(bound) and np.isfinite(prev_bound):
-            if abs(bound - prev_bound) <= improvement_threshold * prev_bound:
+            if (
+                mode == "paper"
+                and np.isfinite(bound)
+                and np.isfinite(prev_bound)
+            ):
+                if abs(bound - prev_bound) <= improvement_threshold * prev_bound:
+                    break
+            if np.all(ks == cluster.n_servers):
+                # Every file is at the N-partition clamp; inflating further
+                # cannot change anything.
                 break
-        if np.all(ks == cluster.n_servers):
-            # Every file is at the N-partition clamp; inflating further
-            # cannot change anything.
-            break
-        if (
-            mode == "paper"
-            and prev_ks is not None
-            and np.array_equal(ks, prev_ks)
-        ):
-            break
-        prev_bound = bound
-        prev_ks = ks
-        alpha *= growth
+            if (
+                mode == "paper"
+                and prev_ks is not None
+                and np.array_equal(ks, prev_ks)
+            ):
+                break
+            prev_bound = bound
+            prev_ks = ks
+            alpha *= growth
 
     # Settle on the best iterate.  With the paper's monotone bound the last
     # iterate is the minimum and this is a no-op; with the overhead-aware

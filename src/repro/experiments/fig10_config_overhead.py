@@ -27,7 +27,17 @@ PAPER = {"10k_files": "< 90 s (CVXPY)", "growth": "linear in file count"}
 def run_fig10(
     file_counts: tuple[int, ...] = (1000, 2000, 4000, 7000, 10000),
     trials: int = 3,
+    scale: float = 1.0,
 ) -> list[dict]:
+    """``scale`` shrinks the file-count ladder (and trial count) uniformly
+    so quick passes (``--scale 0.1``) stay linear-shaped but cheap."""
+    if scale != 1.0:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        file_counts = tuple(
+            sorted({max(int(n * scale), 50) for n in file_counts})
+        )
+        trials = max(1, int(round(trials * scale)))
     rows = []
     for n_files in file_counts:
         pop = paper_fileset(

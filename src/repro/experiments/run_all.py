@@ -1,6 +1,20 @@
 """Regenerate every table and figure: ``python -m repro.experiments.run_all``.
 
-Writes each experiment's table to stdout and to ``results/<exp>.txt``.
+Each experiment runs inside one shared telemetry wrapper
+(:func:`run_experiment`): a root span covers the runner (control-plane
+sections reached inside — the scale-factor search, repartition planning,
+byte-store reads/writes — open child spans), a fresh metrics registry
+isolates the run's counters, and the outcome lands three ways:
+
+* the human-readable table on stdout and in ``results/<exp>.txt``;
+* a schema-versioned run manifest in ``results/<exp>.json`` (git sha,
+  seed, ``--scale``, config hash, structured rows, per-span wall times,
+  metrics snapshot — see :mod:`repro.obs.runinfo`), aggregatable and
+  diffable with ``python -m repro report``;
+* optionally a JSONL event trace (``--trace``) and a Chrome/Perfetto
+  timeline of every span in the pass (``--chrome-trace``), loadable at
+  https://ui.perfetto.dev.
+
 ``--scale 0.25`` shrinks the simulated request counts for a quick pass;
 ``--only fig13`` runs a single experiment.
 """
@@ -10,10 +24,19 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-import time
 
 from repro.analysis.tables import format_table
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.runinfo import build_manifest, write_manifest
+from repro.obs.spans import (
+    SpanCollector,
+    collect_spans,
+    span,
+    write_chrome_trace,
+)
+from repro.obs.tracing import FileSink, Tracer, use_tracer
 
+from repro.experiments.config import DEFAULTS
 from repro.experiments.fig01_trace_stats import run_fig01
 from repro.experiments.fig02_caching_benefit import run_fig02
 from repro.experiments.fig03_replication import run_fig03
@@ -34,7 +57,13 @@ from repro.experiments.fig21_trace_driven import run_fig21
 from repro.experiments.fig22_write_latency import run_fig22
 from repro.experiments.theorem1 import run_theorem1
 
-__all__ = ["EXPERIMENTS", "main"]
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+#: Experiments whose table rows are *measured wall-clock* values rather
+#: than deterministic simulated quantities.  Their manifests carry
+#: ``config.timing_rows = True`` so ``repro report --diff`` compares the
+#: rows with the tolerant wall-time rule instead of exact equality.
+_TIMING_ROWS = frozenset({"fig10"})
 
 #: name -> (runner, accepts_scale)
 EXPERIMENTS = {
@@ -45,7 +74,7 @@ EXPERIMENTS = {
     "fig05": (run_fig05, True),
     "fig06": (run_fig06, False),
     "fig08": (run_fig08, True),
-    "fig10": (run_fig10, False),
+    "fig10": (run_fig10, True),
     "fig11": (run_fig11, False),
     "fig12": (run_fig12, True),
     "fig13": (run_fig13, True),
@@ -60,28 +89,118 @@ EXPERIMENTS = {
 }
 
 
+def run_experiment(
+    name: str, scale: float = 1.0
+) -> tuple[list[dict], dict]:
+    """Run one experiment under the shared telemetry wrapper.
+
+    Returns ``(rows, manifest)``.  The runner executes inside a root
+    ``experiment`` span and against a private metrics registry, so the
+    manifest's span forest and metrics snapshot describe exactly this
+    run; the process-wide registry is restored afterwards.  Span *events*
+    still flow to whatever tracer is installed, so a traced pass captures
+    the full hierarchy in its JSONL stream too.
+    """
+    runner, scalable = EXPERIMENTS[name]
+    collector = SpanCollector()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        with collect_spans(collector):
+            with span("experiment", experiment=name):
+                rows = runner(scale=scale) if scalable else runner()
+    finally:
+        set_registry(previous)
+    roots = [r for r in collector.roots() if r.name == "experiment"]
+    wall_s = roots[0].wall_s if roots else 0.0
+    config = {
+        "experiment": name,
+        "scale": scale if scalable else None,
+        "accepts_scale": scalable,
+        "timing_rows": name in _TIMING_ROWS,
+        "defaults": {
+            "n_requests": DEFAULTS.n_requests,
+            "seed_trace": DEFAULTS.seed_trace,
+            "seed_policy": DEFAULTS.seed_policy,
+            "seed_sim": DEFAULTS.seed_sim,
+        },
+    }
+    manifest = build_manifest(
+        name,
+        rows,
+        wall_s=wall_s,
+        scale=scale if scalable else None,
+        seed=DEFAULTS.seed_sim,
+        config=config,
+        spans=collector.records,
+        metrics=registry.snapshot(),
+    )
+    return rows, manifest
+
+
+def _run_and_write(
+    names: list[str],
+    scale: float,
+    outdir: pathlib.Path,
+    session_spans: SpanCollector,
+) -> None:
+    with collect_spans(session_spans):
+        for name in names:
+            rows, manifest = run_experiment(name, scale=scale)
+            text = format_table(
+                rows, title=f"== {name} ({manifest['wall_s']:.1f}s) =="
+            )
+            print(text)
+            print()
+            (outdir / f"{name}.txt").write_text(text + "\n")
+            write_manifest(manifest, outdir / f"{name}.json")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--only", type=str, default=None)
     parser.add_argument("--out", type=str, default="results")
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a JSONL event trace of the whole pass to PATH",
+    )
+    parser.add_argument(
+        "--chrome-trace", default=None, metavar="PATH",
+        help="write every span as a Chrome/Perfetto trace-event timeline",
+    )
     args = parser.parse_args(argv)
 
     outdir = pathlib.Path(args.out)
-    outdir.mkdir(exist_ok=True)
+    outdir.mkdir(parents=True, exist_ok=True)
     names = [args.only] if args.only else list(EXPERIMENTS)
     for name in names:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
-        runner, scalable = EXPERIMENTS[name]
-        start = time.perf_counter()
-        rows = runner(scale=args.scale) if scalable else runner()
-        elapsed = time.perf_counter() - start
-        text = format_table(rows, title=f"== {name} ({elapsed:.1f}s) ==")
-        print(text)
-        print()
-        (outdir / f"{name}.txt").write_text(text + "\n")
+
+    session_spans = SpanCollector()
+    if args.trace:
+        sink = FileSink(args.trace)
+        try:
+            with use_tracer(Tracer(sink)):
+                _run_and_write(names, args.scale, outdir, session_spans)
+        finally:
+            sink.close()
+        print(
+            f"trace: {sink.n_records} events -> {sink.path}", file=sys.stderr
+        )
+    else:
+        _run_and_write(names, args.scale, outdir, session_spans)
+
+    if args.chrome_trace:
+        n_spans = write_chrome_trace(
+            session_spans, args.chrome_trace, process_name="repro.run_all"
+        )
+        print(
+            f"chrome trace: {n_spans} spans -> {args.chrome_trace}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -1,6 +1,6 @@
-"""Observability layer: metrics registry, event tracing, trace replay.
+"""Observability layer: metrics, tracing, spans, replay, and run manifests.
 
-Three cooperating pieces (each documented in its module, schema tables in
+Cooperating pieces (each documented in its module, schema tables in
 ``docs/observability.md``):
 
 :mod:`repro.obs.metrics`
@@ -10,11 +10,21 @@ Three cooperating pieces (each documented in its module, schema tables in
     Opt-in structured events and wall-clock spans over a sink — no-op
     (default), in-memory ring buffer, or JSONL file.  Instrumented hot
     paths check ``tracer.enabled`` once, so disabled tracing is free.
+:mod:`repro.obs.spans`
+    Hierarchical wall-clock spans (parent/child ids, context manager +
+    decorator, in-memory collection) with a Chrome/Perfetto trace-event
+    exporter.  Supersedes the flat :mod:`repro.obs.profiling` hooks.
 :mod:`repro.obs.replay`
     Turn a JSONL trace back into per-server load vectors, load timelines,
-    and latency samples — what ``python -m repro stats`` prints.
+    latency samples, metric snapshots, and span trees — what
+    ``python -m repro stats`` prints.
+:mod:`repro.obs.runinfo`
+    Schema-versioned run manifests (``results/<exp>.json``): provenance,
+    structured rows, per-span wall times, final metrics snapshot.
+:mod:`repro.obs.report`
+    Aggregate manifests into markdown and diff two manifest sets for
+    wall-time/metric regressions (``python -m repro report``).
 
-:mod:`repro.obs.profiling` adds ``profiled("name")`` wall-time hooks and
 :mod:`repro.obs.events` pins the event-name vocabulary.
 """
 
@@ -35,8 +45,30 @@ from repro.obs.replay import (
     latency_samples,
     load_events,
     load_timeline,
+    metrics_snapshots,
     per_server_loads,
+    span_tree,
     trace_summary,
+)
+from repro.obs.runinfo import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    config_hash,
+    git_sha,
+    load_manifest,
+    load_manifest_dir,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.spans import (
+    SpanCollector,
+    SpanRecord,
+    chrome_trace,
+    collect_spans,
+    current_span_id,
+    span,
+    span_wrap,
+    write_chrome_trace,
 )
 from repro.obs.tracing import (
     FileSink,
@@ -53,24 +85,42 @@ __all__ = [
     "FileSink",
     "Gauge",
     "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "NullSink",
     "RingBufferSink",
+    "SpanCollector",
+    "SpanRecord",
     "Tracer",
+    "build_manifest",
+    "chrome_trace",
+    "collect_spans",
+    "config_hash",
+    "current_span_id",
     "event_counts",
     "events",
     "get_registry",
     "get_tracer",
+    "git_sha",
     "iter_trace",
     "latency_samples",
     "load_events",
+    "load_manifest",
+    "load_manifest_dir",
     "load_timeline",
+    "metrics_snapshots",
     "per_server_loads",
     "profile",
     "profiled",
     "reset_registry",
     "set_registry",
     "set_tracer",
+    "span",
+    "span_tree",
+    "span_wrap",
     "trace_summary",
     "use_tracer",
+    "validate_manifest",
+    "write_chrome_trace",
+    "write_manifest",
 ]

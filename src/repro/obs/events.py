@@ -42,8 +42,9 @@ ADJUST_APPLY = "adjust_apply"  # ops committed: count, moved bytes
 REPARTITION_PLAN = "repartition_plan"  # Algorithm 2 planning outcome
 REPARTITION_TIME = "repartition_time"  # timing-model evaluation
 
-# -- profiling (repro.obs.profiling) ------------------------------------------
-PROFILE = "profile"  # wall-clock span: name, wall_s
+# -- spans / profiling (repro.obs.spans) --------------------------------------
+SPAN = "span"  # hierarchical wall-clock span: name, span_id, parent, wall_s
+PROFILE = "profile"  # legacy flat wall-clock span: name, wall_s
 
 SIMULATOR_EVENTS = (READ, READ_DONE, SIMULATION_END)
 STORE_EVENTS = (
@@ -70,5 +71,6 @@ EVENT_LAYER: dict[str, str] = {
     **{name: "simulator" for name in SIMULATOR_EVENTS},
     **{name: "store" for name in STORE_EVENTS},
     **{name: "core" for name in CORE_EVENTS},
+    SPAN: "profiling",
     PROFILE: "profiling",
 }

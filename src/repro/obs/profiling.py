@@ -1,64 +1,33 @@
-"""Wall-clock profiling hooks feeding the metrics registry and tracer.
+"""Deprecated shim: flat profiling hooks, superseded by :mod:`repro.obs.spans`.
 
-Control-plane code (the scale-factor search, repartition planning) wraps
-its expensive sections in :func:`profiled` so every run records a wall-time
-histogram (``profile.<name>.seconds``) and, when tracing is enabled, a
-``profile`` event.  Use the decorator form for whole functions::
+``profiled``/``profile`` used to time a block and emit one flat
+``profile`` event; they are now thin aliases over the hierarchical span
+API, so existing call sites transparently gain parent/child ids, span
+collection, and the Chrome exporter.  Two visible changes:
 
-    @profile("scale_search")
-    def optimal_scale_factor(...): ...
+* the wall-time histogram is named ``span.<name>.seconds`` (was
+  ``profile.<name>.seconds``), and caller labels no longer become metric
+  labels (high-cardinality labels used to mint one histogram per value);
+* the trace event is ``span`` (:data:`repro.obs.events.SPAN`) instead of
+  ``profile`` — replay (:func:`repro.obs.replay.span_tree`) and the
+  Chrome exporter understand both.
 
-Simulated-time measurements do NOT belong here — those are events with
-explicit ``ts`` stamps; this module is for real CPU seconds only.
+Labels named after reserved record fields (``name``, ``ts``, ``wall_s``,
+...) are namespaced to ``label_<key>`` instead of raising ``TypeError``
+(the bug the old implementation had: it forwarded ``**labels`` straight
+into ``tracer.event(..., name=..., wall_s=...)``).
+
+New code should import from :mod:`repro.obs.spans` directly.
 """
 
 from __future__ import annotations
 
-import functools
-import time
-from contextlib import contextmanager
-from typing import Any, Callable, Iterator, TypeVar
-
-from repro.obs import events as ev
-from repro.obs.metrics import get_registry
-from repro.obs.tracing import get_tracer
+from repro.obs.spans import span, span_wrap
 
 __all__ = ["profiled", "profile"]
 
-F = TypeVar("F", bound=Callable[..., Any])
+#: Context-manager form — alias of :func:`repro.obs.spans.span`.
+profiled = span
 
-#: Wall-time buckets: 10 us .. ~10 s, finer than the latency default since
-#: control-plane sections are usually sub-second.
-_WALL_BUCKETS = tuple(1e-5 * (10.0 ** (i / 3.0)) for i in range(19))
-
-
-@contextmanager
-def profiled(name: str, **labels: Any) -> Iterator[None]:
-    """Record the wall time of a block under ``profile.<name>.seconds``."""
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        elapsed = time.perf_counter() - start
-        get_registry().histogram(
-            f"profile.{name}.seconds", buckets=_WALL_BUCKETS, **labels
-        ).observe(elapsed)
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.event(
-                ev.PROFILE, ts=start, name=name, wall_s=elapsed, **labels
-            )
-
-
-def profile(name: str, **labels: Any) -> Callable[[F], F]:
-    """Decorator form of :func:`profiled`."""
-
-    def deco(fn: F) -> F:
-        @functools.wraps(fn)
-        def wrapper(*args: Any, **kwargs: Any) -> Any:
-            with profiled(name, **labels):
-                return fn(*args, **kwargs)
-
-        return wrapper  # type: ignore[return-value]
-
-    return deco
+#: Decorator form — alias of :func:`repro.obs.spans.span_wrap`.
+profile = span_wrap

@@ -25,9 +25,11 @@ __all__ = [
     "iter_trace",
     "load_events",
     "event_counts",
+    "metrics_snapshots",
     "per_server_loads",
     "load_timeline",
     "latency_samples",
+    "span_tree",
     "trace_summary",
 ]
 
@@ -166,6 +168,60 @@ def latency_samples(source) -> dict[str, np.ndarray]:
                 float(record["latency"])
             )
     return {s: np.asarray(v) for s, v in groups.items()}
+
+
+def metrics_snapshots(source) -> dict[str, dict[str, Any]]:
+    """Per-scheme end-of-run metric snapshots from ``simulation_end`` events.
+
+    Keys of each snapshot follow the documented
+    :data:`repro.cluster.engine.lifecycle.METRIC_SNAPSHOT_KEYS` ordering;
+    any extra fields a future schema adds trail behind in event order.
+    When a trace holds several runs of one scheme, the last run wins.
+    """
+    from repro.cluster.engine.lifecycle import METRIC_SNAPSHOT_KEYS
+
+    out: dict[str, dict[str, Any]] = {}
+    for record in load_events(source):
+        if record.get("event") != ev.SIMULATION_END:
+            continue
+        scheme = record.get("scheme", "?")
+        snapshot: dict[str, Any] = {}
+        for key in METRIC_SNAPSHOT_KEYS:
+            if key in record:
+                snapshot[key] = record[key]
+        for key, value in record.items():
+            if key not in snapshot and key not in ("event", "ts"):
+                snapshot[key] = value
+        out[scheme] = snapshot
+    return dict(sorted(out.items()))
+
+
+def span_tree(source) -> list[dict[str, Any]]:
+    """Rebuild the span forest from ``span`` (and legacy ``profile``) events.
+
+    Returns the root nodes; every node is the original record plus a
+    ``children`` list.  A node whose ``parent`` id never appears in the
+    trace (e.g. the trace started mid-run) is promoted to a root.  Legacy
+    ``profile`` events carry no ids and always become leaf roots.
+    """
+    nodes: dict[int, dict[str, Any]] = {}
+    order: list[dict[str, Any]] = []
+    for record in load_events(source):
+        kind = record.get("event")
+        if kind == ev.SPAN and "span_id" in record:
+            node = {**record, "children": []}
+            nodes[record["span_id"]] = node
+            order.append(node)
+        elif kind == ev.PROFILE:
+            order.append({**record, "span_id": None, "children": []})
+    roots: list[dict[str, Any]] = []
+    for node in order:
+        parent = node.get("parent")
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
 
 
 def trace_summary(source, n_servers: int | None = None) -> list[dict[str, Any]]:

@@ -1,0 +1,291 @@
+"""Aggregate run manifests into markdown and flag regressions between runs.
+
+The read side of :mod:`repro.obs.runinfo`: :func:`render_report` turns a
+set of ``results/<exp>.json`` manifests into an EXPERIMENTS.md-style
+markdown summary, and :func:`diff_manifests` compares two manifest sets —
+a fresh run against a baseline — and reports wall-time and metric
+regressions beyond configurable thresholds.  ``repro report`` is the CLI
+front end; with ``--diff`` it exits non-zero when regressions are found,
+which is what the CI smoke job gates on.
+
+Regression rules
+----------------
+* **wall time** (experiment total, per-span-name totals, and any leaf
+  that is itself a wall-clock measurement): regressed when
+  ``new > base * (1 + wall_tolerance)`` *and* the absolute growth
+  exceeds ``min_wall_s`` — the floor keeps sub-second timing noise from
+  tripping the gate on fast experiments.  A leaf counts as wall-clock
+  when its key looks like a timer (``*.seconds*``, ``*wall*``,
+  ``*time_s``, ``*duration*`` — e.g. the ``span.<name>.seconds``
+  histograms in the metrics snapshot), or when the manifest declares
+  ``config.timing_rows`` (fig10's rows are measured search times).
+* **metrics** (the remaining numeric values in table rows and the
+  metrics snapshot): regressed when the relative change exceeds
+  ``metric_tolerance`` in either direction — experiment rows are seeded
+  and deterministic, so identical configs must produce identical
+  numbers.  Non-finite values compare by "both non-finite or regressed".
+* a baseline experiment missing from the new set is always a regression.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+__all__ = [
+    "diff_manifests",
+    "render_diff",
+    "render_report",
+]
+
+#: Diff thresholds (overridable per call / via CLI flags).
+WALL_TOLERANCE = 0.5  # +50 % wall time
+METRIC_TOLERANCE = 1e-6  # seeded runs reproduce exactly; allow float dust
+MIN_WALL_S = 0.25  # ignore absolute wall growth below this
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.4g}"
+    return f"{value:.4f}".rstrip("0").rstrip(".")
+
+
+def _markdown_table(rows: list[dict[str, Any]]) -> str:
+    if not rows:
+        return "_(no rows)_"
+    columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c, "")) for c in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _span_totals(manifest: dict[str, Any]) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for s in manifest.get("spans", []):
+        name = s.get("name", "?")
+        totals[name] = totals.get(name, 0.0) + float(s.get("wall_s", 0.0))
+    return dict(sorted(totals.items()))
+
+
+def render_report(manifests: dict[str, dict[str, Any]]) -> str:
+    """Render a manifest set as one markdown document."""
+    lines = ["# Experiment report", ""]
+    if not manifests:
+        lines.append("_(no manifests)_")
+        return "\n".join(lines) + "\n"
+    shas = {m.get("git_sha") for m in manifests.values()}
+    sha = shas.pop() if len(shas) == 1 else "mixed"
+    lines.append(
+        f"{len(manifests)} experiment(s), git `{(sha or 'unknown')[:12]}`."
+    )
+    lines.append("")
+    summary = [
+        {
+            "experiment": name,
+            "rows": len(m["rows"]),
+            "wall_s": m["wall_s"],
+            "spans": len(m["spans"]),
+            "scale": m["scale"] if m["scale"] is not None else "-",
+            "config": m["config_hash"][:10],
+        }
+        for name, m in sorted(manifests.items())
+    ]
+    lines.append(_markdown_table(summary))
+    for name, m in sorted(manifests.items()):
+        lines += ["", f"## {name}", "", _markdown_table(m["rows"])]
+        totals = _span_totals(m)
+        if totals:
+            wall = max(m["wall_s"], 1e-12)
+            span_rows = [
+                {
+                    "span": span_name,
+                    "wall_s": seconds,
+                    "share": f"{min(seconds / wall, 1.0):.0%}",
+                }
+                for span_name, seconds in sorted(
+                    totals.items(), key=lambda kv: -kv[1]
+                )[:12]
+            ]
+            lines += ["", "Spans (total wall seconds by name):", ""]
+            lines.append(_markdown_table(span_rows))
+    return "\n".join(lines) + "\n"
+
+
+def _numeric_leaves(obj: Any, prefix: str = "") -> dict[str, float]:
+    """Flatten nested rows/metrics into ``{path: float}`` for comparison."""
+    out: dict[str, float] = {}
+    if isinstance(obj, bool):
+        return out
+    if isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            out.update(_numeric_leaves(value, f"{prefix}.{key}" if prefix else str(key)))
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            out.update(_numeric_leaves(value, f"{prefix}[{i}]"))
+    return out
+
+
+#: Leaf keys matching this are wall-clock timers, not exact metrics.
+_TIMING_KEY = re.compile(r"\.seconds|wall|time_s\b|duration", re.IGNORECASE)
+
+
+def _rel_change(base: float, new: float) -> float:
+    if not (math.isfinite(base) and math.isfinite(new)):
+        # Both non-finite in the same way is a match; anything else is not.
+        same = (
+            (math.isnan(base) and math.isnan(new))
+            or (math.isinf(base) and math.isinf(new) and base == new)
+        )
+        return 0.0 if same else math.inf
+    return abs(new - base) / max(abs(base), 1e-12)
+
+
+def diff_manifests(
+    base: dict[str, dict[str, Any]],
+    new: dict[str, dict[str, Any]],
+    *,
+    wall_tolerance: float = WALL_TOLERANCE,
+    metric_tolerance: float = METRIC_TOLERANCE,
+    min_wall_s: float = MIN_WALL_S,
+) -> list[dict[str, Any]]:
+    """Compare two manifest sets; returns one record per regression.
+
+    Each record has ``experiment``, ``kind`` (``missing`` / ``wall`` /
+    ``span_wall`` / ``metric``), ``key``, ``base``, ``new``, ``change``.
+    An empty list means the new run is clean.
+    """
+    if wall_tolerance < 0 or metric_tolerance < 0 or min_wall_s < 0:
+        raise ValueError("diff tolerances must be non-negative")
+    regressions: list[dict[str, Any]] = []
+
+    def _wall_regressed(old_s: float, new_s: float) -> bool:
+        return (
+            new_s > old_s * (1.0 + wall_tolerance)
+            and new_s - old_s > min_wall_s
+        )
+
+    for name in sorted(base):
+        if name not in new:
+            regressions.append(
+                {
+                    "experiment": name,
+                    "kind": "missing",
+                    "key": "-",
+                    "base": "present",
+                    "new": "absent",
+                    "change": "-",
+                }
+            )
+            continue
+        b, n = base[name], new[name]
+
+        if _wall_regressed(float(b["wall_s"]), float(n["wall_s"])):
+            regressions.append(
+                {
+                    "experiment": name,
+                    "kind": "wall",
+                    "key": "wall_s",
+                    "base": float(b["wall_s"]),
+                    "new": float(n["wall_s"]),
+                    "change": f"+{_rel_change(b['wall_s'], n['wall_s']):.0%}",
+                }
+            )
+        base_spans, new_spans = _span_totals(b), _span_totals(n)
+        for span_name, base_s in base_spans.items():
+            new_s = new_spans.get(span_name)
+            if new_s is not None and _wall_regressed(base_s, new_s):
+                regressions.append(
+                    {
+                        "experiment": name,
+                        "kind": "span_wall",
+                        "key": span_name,
+                        "base": base_s,
+                        "new": new_s,
+                        "change": f"+{_rel_change(base_s, new_s):.0%}",
+                    }
+                )
+        timing_rows = bool(
+            (b.get("config") or {}).get("timing_rows")
+            or (n.get("config") or {}).get("timing_rows")
+        )
+        for section in ("rows", "metrics"):
+            base_vals = _numeric_leaves(b[section], section)
+            new_vals = _numeric_leaves(n[section], section)
+            for key, base_v in base_vals.items():
+                if key not in new_vals:
+                    regressions.append(
+                        {
+                            "experiment": name,
+                            "kind": "metric",
+                            "key": key,
+                            "base": base_v,
+                            "new": "absent",
+                            "change": "absent",
+                        }
+                    )
+                    continue
+                new_v = new_vals[key]
+                is_timer = bool(_TIMING_KEY.search(key)) or (
+                    timing_rows and section == "rows"
+                )
+                if is_timer:
+                    if _wall_regressed(base_v, new_v):
+                        regressions.append(
+                            {
+                                "experiment": name,
+                                "kind": "wall",
+                                "key": key,
+                                "base": base_v,
+                                "new": new_v,
+                                "change": f"+{_rel_change(base_v, new_v):.0%}",
+                            }
+                        )
+                    continue
+                change = _rel_change(base_v, new_v)
+                if change > metric_tolerance:
+                    regressions.append(
+                        {
+                            "experiment": name,
+                            "kind": "metric",
+                            "key": key,
+                            "base": base_v,
+                            "new": new_v,
+                            "change": f"{change:.2%}",
+                        }
+                    )
+    return regressions
+
+
+def render_diff(
+    regressions: list[dict[str, Any]],
+    n_base: int,
+    n_new: int,
+) -> str:
+    """Markdown summary of a :func:`diff_manifests` result."""
+    lines = ["# Manifest diff", ""]
+    lines.append(
+        f"Compared {n_new} manifest(s) against a {n_base}-manifest baseline: "
+        + (
+            f"**{len(regressions)} regression(s)**."
+            if regressions
+            else "no regressions."
+        )
+    )
+    if regressions:
+        lines += ["", _markdown_table(regressions)]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,216 @@
+"""Run manifests: schema-versioned, machine-readable experiment records.
+
+Every ``run_all`` experiment emits, next to its human-readable
+``results/<exp>.txt`` table, one ``results/<exp>.json`` *manifest*: the
+structured table rows, the span forest with per-span wall times, the
+final metrics-registry snapshot, and enough provenance (git sha, seed,
+``--scale``, config hash, schema version) to compare two runs
+mechanically.  ``repro report`` (:mod:`repro.obs.report`) aggregates and
+diffs these files; CI uploads them as artifacts so the perf trajectory
+accumulates.
+
+Schema (version 1) — one flat JSON object:
+
+===================  ==========================================================
+``schema_version``   ``1``
+``experiment``       experiment name (``fig10``, ``theorem1``, ...)
+``created_unix``     ``time.time()`` at manifest build
+``git_sha``          ``git rev-parse HEAD`` or ``None`` outside a checkout
+``scale``            the ``--scale`` the run used (``None`` if not applicable)
+``seed``             the run's base seed (``None`` if not applicable)
+``config``           free-form dict of run configuration
+``config_hash``      sha256 of the canonical-JSON ``config``
+``wall_s``           wall seconds of the whole experiment (its root span)
+``rows``             the structured table rows (list of dicts)
+``spans``            finished spans: ``name``/``span_id``/``parent``/
+                     ``start``/``wall_s`` (+ optional ``labels``)
+``metrics``          metrics-registry snapshot at end of run
+===================  ==========================================================
+
+:func:`validate_manifest` enforces this shape; :func:`load_manifest`
+validates on read so a corrupt or foreign JSON file fails loudly rather
+than polluting a report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "config_hash",
+    "git_sha",
+    "load_manifest",
+    "load_manifest_dir",
+    "validate_manifest",
+    "write_manifest",
+]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: required key -> accepted types (``None`` entries listed explicitly).
+_MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema_version": (int,),
+    "experiment": (str,),
+    "created_unix": (int, float),
+    "git_sha": (str, type(None)),
+    "scale": (int, float, type(None)),
+    "seed": (int, type(None)),
+    "config": (dict,),
+    "config_hash": (str,),
+    "wall_s": (int, float),
+    "rows": (list,),
+    "spans": (list,),
+    "metrics": (dict,),
+}
+
+
+def git_sha() -> str | None:
+    """The current checkout's HEAD sha, or ``None`` when unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def config_hash(config: dict[str, Any]) -> str:
+    """sha256 over the canonical JSON rendering of ``config``.
+
+    Keys are sorted and non-JSON values fall back to ``str``, so the hash
+    is stable across dict ordering and runs.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _span_dicts(spans: Iterable[Any]) -> list[dict[str, Any]]:
+    out = []
+    for s in spans:
+        out.append(s.to_dict() if hasattr(s, "to_dict") else dict(s))
+    return out
+
+
+def build_manifest(
+    experiment: str,
+    rows: list[dict[str, Any]],
+    *,
+    wall_s: float,
+    scale: float | None = None,
+    seed: int | None = None,
+    config: dict[str, Any] | None = None,
+    spans: Iterable[Any] = (),
+    metrics: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble and validate one schema-version-1 manifest.
+
+    ``spans`` accepts :class:`~repro.obs.spans.SpanRecord` objects or
+    plain dicts; ``config`` is hashed with :func:`config_hash`.
+    """
+    config = dict(config or {})
+    manifest: dict[str, Any] = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "experiment": str(experiment),
+        "created_unix": time.time(),
+        "git_sha": git_sha(),
+        "scale": scale,
+        "seed": seed,
+        "config": config,
+        "config_hash": config_hash(config),
+        "wall_s": float(wall_s),
+        "rows": [dict(r) for r in rows],
+        "spans": _span_dicts(spans),
+        "metrics": dict(metrics or {}),
+    }
+    return validate_manifest(manifest)
+
+
+def validate_manifest(manifest: Any) -> dict[str, Any]:
+    """Check the version-1 schema; returns ``manifest`` or raises ValueError."""
+    if not isinstance(manifest, dict):
+        raise ValueError(
+            f"manifest must be a JSON object, got {type(manifest).__name__}"
+        )
+    for key, types in _MANIFEST_FIELDS.items():
+        if key not in manifest:
+            raise ValueError(f"manifest is missing required key {key!r}")
+        if not isinstance(manifest[key], types):
+            raise ValueError(
+                f"manifest key {key!r} has type "
+                f"{type(manifest[key]).__name__}, expected one of "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    if manifest["schema_version"] != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported manifest schema_version "
+            f"{manifest['schema_version']!r} (this build reads "
+            f"{MANIFEST_SCHEMA_VERSION})"
+        )
+    if manifest["wall_s"] < 0:
+        raise ValueError("manifest wall_s must be non-negative")
+    for i, row in enumerate(manifest["rows"]):
+        if not isinstance(row, dict):
+            raise ValueError(f"manifest row {i} is not an object")
+    for i, s in enumerate(manifest["spans"]):
+        if not isinstance(s, dict) or "name" not in s or "wall_s" not in s:
+            raise ValueError(
+                f"manifest span {i} must be an object with name/wall_s"
+            )
+        if s["wall_s"] < 0:
+            raise ValueError(f"manifest span {i} has negative wall_s")
+    return manifest
+
+
+def write_manifest(manifest: dict[str, Any], path: str | Path) -> Path:
+    """Validate and write one manifest as pretty-printed JSON."""
+    validate_manifest(manifest)
+    path = Path(path)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=False, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read and validate one manifest file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_manifest(json.load(fh))
+
+
+def load_manifest_dir(
+    path: str | Path,
+) -> tuple[dict[str, dict[str, Any]], list[str]]:
+    """Load every valid manifest under ``path`` (non-recursive).
+
+    Returns ``(manifests, skipped)``: manifests keyed by experiment name,
+    plus the file names that exist but are not valid version-1 manifests
+    (e.g. ``BENCH_*.json`` trajectory files) so callers can warn instead
+    of silently ignoring them.
+    """
+    path = Path(path)
+    manifests: dict[str, dict[str, Any]] = {}
+    skipped: list[str] = []
+    for file in sorted(path.glob("*.json")):
+        try:
+            manifest = load_manifest(file)
+        except (ValueError, json.JSONDecodeError, OSError):
+            skipped.append(file.name)
+            continue
+        manifests[manifest["experiment"]] = manifest
+    return manifests, skipped

@@ -146,9 +146,14 @@ class Tracer:
     def enabled(self) -> bool:
         return self.sink.enabled
 
-    def event(self, name: str, ts: float | None = None, **fields: Any) -> None:
+    def event(
+        self, name: str, /, ts: float | None = None, **fields: Any
+    ) -> None:
         """Emit one record.  ``ts`` is the caller's clock (simulated seconds
-        in the simulator); defaults to ``time.perf_counter()``."""
+        in the simulator); defaults to ``time.perf_counter()``.
+
+        ``name`` is positional-only, so a *field* named ``name`` (e.g. a
+        span's own name) never collides with the event name."""
         sink = self.sink
         if not sink.enabled:
             return
@@ -160,7 +165,7 @@ class Tracer:
         sink.emit(record)
 
     @contextmanager
-    def span(self, name: str, **fields: Any) -> Iterator[None]:
+    def span(self, name: str, /, **fields: Any) -> Iterator[None]:
         """Time a block on the wall clock; emits ``name`` with ``wall_s``."""
         if not self.sink.enabled:
             yield

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.common import make_rng
 from repro.ec.codec import RSFileCodec, split_bytes, unsplit_bytes
+from repro.obs.spans import span
 from repro.store.lineage import LineageGraph
 from repro.store.master import FileMeta, Master, PartitionLocation
 from repro.store.under_store import UnderStore
@@ -63,29 +64,31 @@ class StoreClient:
         placement: str = "random",
     ) -> FileMeta:
         """Plain-partition write: ``k`` contiguous partitions, no parity."""
-        worker_ids = self._choose(k, placement)
-        parts = split_bytes(data, k)
-        locations = []
-        for index, (wid, part) in enumerate(zip(worker_ids, parts)):
-            self.workers[wid].put_block(file_id, index, part)
-            locations.append(PartitionLocation(worker_id=wid, index=index))
-        return self.master.register_file(file_id, len(data), locations)
+        with span("store.write", kind="partitioned"):
+            worker_ids = self._choose(k, placement)
+            parts = split_bytes(data, k)
+            locations = []
+            for index, (wid, part) in enumerate(zip(worker_ids, parts)):
+                self.workers[wid].put_block(file_id, index, part)
+                locations.append(PartitionLocation(worker_id=wid, index=index))
+            return self.master.register_file(file_id, len(data), locations)
 
     def write_ec(
         self, file_id: int, data: bytes, k: int = 10, n: int = 14
     ) -> FileMeta:
         """Erasure-coded write: ``n`` Reed-Solomon shards on ``n`` workers."""
-        codec = RSFileCodec(k=k, n=n)
-        shards, orig_len = codec.encode_file(data)
-        worker_ids = self._choose(n, "random")
-        locations = []
-        for index, (wid, shard) in enumerate(zip(worker_ids, shards)):
-            self.workers[wid].put_block(file_id, index, shard)
-            locations.append(PartitionLocation(worker_id=wid, index=index))
-        self._ec_meta[file_id] = (codec, orig_len)
-        return self.master.register_file(
-            file_id, len(data), locations, ec_k=k, ec_n=n
-        )
+        with span("store.write", kind="ec"):
+            codec = RSFileCodec(k=k, n=n)
+            shards, orig_len = codec.encode_file(data)
+            worker_ids = self._choose(n, "random")
+            locations = []
+            for index, (wid, shard) in enumerate(zip(worker_ids, shards)):
+                self.workers[wid].put_block(file_id, index, shard)
+                locations.append(PartitionLocation(worker_id=wid, index=index))
+            self._ec_meta[file_id] = (codec, orig_len)
+            return self.master.register_file(
+                file_id, len(data), locations, ec_k=k, ec_n=n
+            )
 
     def write_replicated(
         self, file_id: int, data: bytes, replicas: int = 1
@@ -93,29 +96,31 @@ class StoreClient:
         """Whole-file copies: ``replicas`` groups on distinct workers each."""
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
-        groups: list[list[PartitionLocation]] = []
-        flat: list[PartitionLocation] = []
-        for r in range(replicas):
-            wid = self._choose(1, "random")[0]
-            self.workers[wid].put_block(file_id, r, data)
-            loc = PartitionLocation(worker_id=wid, index=r)
-            groups.append([loc])
-            flat.append(loc)
-        return self.master.register_file(
-            file_id, len(data), flat, replica_groups=groups
-        )
+        with span("store.write", kind="replicated"):
+            groups: list[list[PartitionLocation]] = []
+            flat: list[PartitionLocation] = []
+            for r in range(replicas):
+                wid = self._choose(1, "random")[0]
+                self.workers[wid].put_block(file_id, r, data)
+                loc = PartitionLocation(worker_id=wid, index=r)
+                groups.append([loc])
+                flat.append(loc)
+            return self.master.register_file(
+                file_id, len(data), flat, replica_groups=groups
+            )
 
     # -- reads -------------------------------------------------------------
 
     def read(self, file_id: int) -> bytes:
         """Read a file through whichever scheme wrote it."""
-        meta = self.master.meta(file_id)
-        self.master.record_access(file_id)
-        if meta.ec_k is not None:
-            return self._read_ec(meta)
-        if meta.replica_groups:
-            return self._read_replicated(meta)
-        return self._read_partitioned(meta)
+        with span("store.read"):
+            meta = self.master.meta(file_id)
+            self.master.record_access(file_id)
+            if meta.ec_k is not None:
+                return self._read_ec(meta)
+            if meta.replica_groups:
+                return self._read_replicated(meta)
+            return self._read_partitioned(meta)
 
     def _read_partitioned(self, meta: FileMeta) -> bytes:
         parts: list[bytes] = []
@@ -231,6 +236,12 @@ class StoreClient:
         meta = self.master.meta(file_id)
         if meta.ec_k is not None or meta.replica_groups:
             raise ValueError("repartition applies to plain-partitioned files")
+        with span("store.repartition", new_k=new_k):
+            return self._repartition(meta, file_id, new_k, placement)
+
+    def _repartition(
+        self, meta: FileMeta, file_id: int, new_k: int, placement: str
+    ) -> FileMeta:
         data = self._read_partitioned(meta)
         for loc in meta.locations:
             # A block evicted since the read is already gone — fine here.

@@ -134,6 +134,89 @@ def test_stats_bad_inputs_fail_cleanly(tmp_path, capsys):
     assert "--timeline" in capsys.readouterr().err
 
 
+def test_stats_prints_metrics_snapshot(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    main(["trace", "--schemes", "sp", "--out", str(out), *FAST])
+    capsys.readouterr()
+    assert main(["stats", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "metrics snapshot" in printed
+
+
+def test_stats_json_metrics_snapshot_ordering(tmp_path, capsys):
+    from repro.cluster.engine.lifecycle import METRIC_SNAPSHOT_KEYS
+
+    out = tmp_path / "run.jsonl"
+    main(["trace", "--schemes", "sp,single", "--out", str(out), *FAST])
+    capsys.readouterr()
+    assert main(["stats", str(out), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["metrics"]) == {"sp-cache", "single-copy"}
+    for snapshot in payload["metrics"].values():
+        documented = [k for k in snapshot if k in METRIC_SNAPSHOT_KEYS]
+        expected = [k for k in METRIC_SNAPSHOT_KEYS if k in snapshot]
+        assert documented == expected  # documented keys lead, in order
+        assert snapshot["requests"] == 300
+
+
+def _write_manifests(outdir):
+    assert main(
+        ["experiments", "--only", "fig06", "--out", str(outdir)]
+    ) == 0
+
+
+def test_report_renders_markdown(tmp_path, capsys):
+    _write_manifests(tmp_path)
+    capsys.readouterr()
+    assert main(["report", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# Experiment report")
+    assert "## fig06" in out
+
+
+def test_report_json_and_out_file(tmp_path, capsys):
+    _write_manifests(tmp_path)
+    capsys.readouterr()
+    assert main(["report", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "fig06" in payload
+
+    target = tmp_path / "REPORT.md"
+    assert main(["report", str(tmp_path), "--out", str(target)]) == 0
+    assert target.read_text().startswith("# Experiment report")
+
+
+def test_report_diff_identical_runs_clean(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    _write_manifests(base)
+    _write_manifests(fresh)
+    capsys.readouterr()
+    assert main(["report", str(fresh), "--diff", str(base)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_report_diff_flags_inflated_wall_time(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    _write_manifests(base)
+    _write_manifests(fresh)
+    manifest = json.loads((fresh / "fig06.json").read_text())
+    manifest["wall_s"] = manifest["wall_s"] * 10 + 5.0
+    (fresh / "fig06.json").write_text(json.dumps(manifest))
+    capsys.readouterr()
+    assert main(["report", str(fresh), "--diff", str(base)]) == 1
+    out = capsys.readouterr().out
+    assert "regression(s)" in out and "wall_s" in out
+
+
+def test_report_empty_and_missing_dirs(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope")]) == 2
+    assert "no such manifest directory" in capsys.readouterr().err
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["report", str(empty)]) == 2
+    assert "no run manifests" in capsys.readouterr().err
+
+
 def test_traced_compare_replays_to_matching_eta(tmp_path, capsys):
     """Acceptance: the JSONL trace of a compare run is sufficient to
     reconstruct per-server loads whose imbalance factor matches the one

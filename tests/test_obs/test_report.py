@@ -1,0 +1,136 @@
+"""Report rendering and the manifest regression diff."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.obs import build_manifest
+from repro.obs.report import diff_manifests, render_diff, render_report
+
+
+def _manifests(**kwargs):
+    m = build_manifest(
+        "figX",
+        [{"n": 100, "eta": 1.5}, {"n": 200, "eta": 1.2}],
+        wall_s=2.0,
+        scale=0.5,
+        seed=23,
+        config={"experiment": "figX"},
+        spans=[
+            {"name": "experiment", "span_id": 1, "parent": None,
+             "start": 0.0, "wall_s": 2.0},
+            {"name": "scale_search", "span_id": 2, "parent": 1,
+             "start": 0.1, "wall_s": 1.4},
+        ],
+        metrics={"requests": 400, "sim.latency": {"p95": 0.25}},
+        **kwargs,
+    )
+    return {"figX": m}
+
+
+def test_render_report_markdown():
+    text = render_report(_manifests())
+    assert text.startswith("# Experiment report")
+    assert "## figX" in text
+    assert "| n | eta |" in text
+    assert "scale_search" in text  # span table present
+    assert "| figX | 2 |" in text  # summary row: 2 rows
+
+
+def test_render_report_empty():
+    assert "no manifests" in render_report({})
+
+
+def test_identical_manifests_diff_clean():
+    base = _manifests()
+    assert diff_manifests(base, copy.deepcopy(base)) == []
+
+
+def test_wall_time_regression_flagged():
+    base = _manifests()
+    new = copy.deepcopy(base)
+    new["figX"]["wall_s"] = base["figX"]["wall_s"] * 2 + 1.0
+    regs = diff_manifests(base, new)
+    assert [r["kind"] for r in regs] == ["wall"]
+    assert regs[0]["key"] == "wall_s"
+
+
+def test_small_absolute_wall_growth_ignored():
+    # +100 % but under the min_wall_s floor: timing noise, not a regression.
+    base = _manifests()
+    base["figX"]["wall_s"] = 0.1
+    base["figX"]["spans"] = []
+    new = copy.deepcopy(base)
+    new["figX"]["wall_s"] = 0.2
+    assert diff_manifests(base, new) == []
+    assert diff_manifests(base, new, min_wall_s=0.05) != []
+
+
+def test_span_wall_regression_flagged():
+    base = _manifests()
+    new = copy.deepcopy(base)
+    new["figX"]["spans"][1]["wall_s"] = 5.0
+    regs = diff_manifests(base, new)
+    assert any(r["kind"] == "span_wall" and r["key"] == "scale_search"
+               for r in regs)
+
+
+def test_metric_drift_flagged_exactly():
+    base = _manifests()
+    new = copy.deepcopy(base)
+    new["figX"]["rows"][0]["eta"] = 1.6
+    new["figX"]["metrics"]["sim.latency"]["p95"] = 0.30
+    regs = diff_manifests(base, new)
+    keys = {r["key"] for r in regs}
+    assert keys == {"rows[0].eta", "metrics.sim.latency.p95"}
+    assert all(r["kind"] == "metric" for r in regs)
+
+
+def test_timing_rows_use_wall_rule():
+    # fig10-style manifests declare config.timing_rows: row values are
+    # measured wall clock, so run-to-run jitter must not trip the gate.
+    base = _manifests()
+    base["figX"]["config"]["timing_rows"] = True
+    new = copy.deepcopy(base)
+    new["figX"]["rows"][0]["eta"] = 1.55  # +3 % "timing noise"
+    assert diff_manifests(base, new) == []
+    new["figX"]["rows"][0]["eta"] = 9.0  # way past tolerance and floor
+    regs = diff_manifests(base, new)
+    assert [r["kind"] for r in regs] == ["wall"]
+
+
+def test_seconds_metrics_use_wall_rule():
+    base = _manifests()
+    base["figX"]["metrics"]["span.experiment.seconds"] = {"sum": 0.5}
+    new = copy.deepcopy(base)
+    new["figX"]["metrics"]["span.experiment.seconds"] = {"sum": 0.55}
+    assert diff_manifests(base, new) == []
+
+
+def test_missing_experiment_is_regression():
+    regs = diff_manifests(_manifests(), {})
+    assert [r["kind"] for r in regs] == ["missing"]
+
+
+def test_absent_metric_is_regression():
+    base = _manifests()
+    new = copy.deepcopy(base)
+    del new["figX"]["metrics"]["requests"]
+    regs = diff_manifests(base, new)
+    assert any(r["key"] == "metrics.requests" and r["new"] == "absent"
+               for r in regs)
+
+
+def test_negative_tolerances_rejected():
+    with pytest.raises(ValueError):
+        diff_manifests({}, {}, wall_tolerance=-1)
+
+
+def test_render_diff_wording():
+    assert "no regressions" in render_diff([], 1, 1)
+    regs = [{"experiment": "figX", "kind": "wall", "key": "wall_s",
+             "base": 1.0, "new": 3.0, "change": "+200%"}]
+    text = render_diff(regs, 1, 1)
+    assert "1 regression(s)" in text and "wall_s" in text

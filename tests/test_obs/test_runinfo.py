@@ -1,0 +1,107 @@
+"""Run manifests: build/validate/write/load round-trip and schema gates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    collect_spans,
+    config_hash,
+    git_sha,
+    load_manifest,
+    load_manifest_dir,
+    span,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def _manifest(**overrides):
+    base = build_manifest(
+        "figX",
+        [{"k": 1, "v": 2.5}],
+        wall_s=1.25,
+        scale=0.5,
+        seed=23,
+        config={"experiment": "figX", "scale": 0.5},
+        metrics={"requests": 10},
+    )
+    base.update(overrides)
+    return base
+
+
+def test_build_manifest_shape():
+    m = _manifest()
+    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION
+    assert m["experiment"] == "figX"
+    assert m["wall_s"] == 1.25
+    assert m["rows"] == [{"k": 1, "v": 2.5}]
+    assert m["config_hash"] == config_hash({"experiment": "figX", "scale": 0.5})
+    assert m["created_unix"] > 0
+    assert validate_manifest(m) is m
+
+
+def test_git_sha_in_this_checkout():
+    sha = git_sha()
+    assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+
+def test_config_hash_is_order_independent():
+    a = config_hash({"x": 1, "y": [1, 2]})
+    b = config_hash({"y": [1, 2], "x": 1})
+    assert a == b
+    assert a != config_hash({"x": 2, "y": [1, 2]})
+
+
+def test_build_manifest_accepts_span_records():
+    with collect_spans() as collector:
+        with span("root"):
+            with span("leaf"):
+                pass
+    m = build_manifest("figY", [], wall_s=0.0, spans=collector.records)
+    assert [s["name"] for s in m["spans"]] == ["leaf", "root"]
+    assert all("span_id" in s and "wall_s" in s for s in m["spans"])
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    m = _manifest()
+    path = write_manifest(m, tmp_path / "figX.json")
+    loaded = load_manifest(path)
+    assert loaded == json.loads(json.dumps(m, default=str))
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"schema_version": 2},
+        {"wall_s": -1.0},
+        {"rows": ["not a dict"]},
+        {"spans": [{"name": "x"}]},  # missing wall_s
+        {"spans": [{"name": "x", "wall_s": -0.1}]},
+        {"config": "not a dict"},
+        {"experiment": 7},
+    ],
+)
+def test_validate_rejects_bad_manifests(overrides):
+    with pytest.raises(ValueError):
+        validate_manifest(_manifest(**overrides))
+
+
+def test_validate_rejects_missing_key():
+    m = _manifest()
+    del m["config_hash"]
+    with pytest.raises(ValueError, match="config_hash"):
+        validate_manifest(m)
+
+
+def test_load_manifest_dir_skips_foreign_json(tmp_path):
+    write_manifest(_manifest(), tmp_path / "figX.json")
+    (tmp_path / "BENCH_x.json").write_text('{"wall_seconds": {}}')
+    (tmp_path / "broken.json").write_text("{nope")
+    manifests, skipped = load_manifest_dir(tmp_path)
+    assert list(manifests) == ["figX"]
+    assert sorted(skipped) == ["BENCH_x.json", "broken.json"]

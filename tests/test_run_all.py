@@ -1,8 +1,11 @@
-"""The run_all CLI: argument handling and output files."""
+"""The run_all CLI: argument handling, output files, and run telemetry."""
 
 from __future__ import annotations
 
-from repro.experiments.run_all import main
+import json
+
+from repro.experiments.run_all import main, run_experiment
+from repro.obs import load_events, load_manifest, span_tree, validate_manifest
 
 
 def test_single_cheap_experiment(tmp_path, capsys):
@@ -24,3 +27,66 @@ def test_scale_flag_reaches_runner(tmp_path, capsys):
     code = main(["--only", "fig03", "--scale", "0.05", "--out", str(tmp_path)])
     assert code == 0
     assert (tmp_path / "fig03.txt").exists()
+
+
+def test_fig10_emits_schema_valid_manifest(tmp_path, capsys):
+    """Acceptance: `run_all --only fig10 --scale 0.1` writes a manifest
+    that passes schema validation and carries spans + metrics."""
+    assert main(["--only", "fig10", "--scale", "0.1",
+                 "--out", str(tmp_path)]) == 0
+    manifest = load_manifest(tmp_path / "fig10.json")
+    assert validate_manifest(manifest) is manifest
+    assert manifest["experiment"] == "fig10"
+    assert manifest["scale"] == 0.1
+    assert manifest["config"]["timing_rows"] is True
+    assert manifest["wall_s"] > 0
+    assert len(manifest["rows"]) >= 1
+    names = {s["name"] for s in manifest["spans"]}
+    assert "experiment" in names and "scale_search" in names
+    assert any(k.startswith("span.") for k in manifest["metrics"])
+
+
+def test_run_experiment_isolates_metrics_registry():
+    from repro.obs import get_registry
+
+    before = get_registry()
+    rows, manifest = run_experiment("fig06")
+    assert get_registry() is before  # restored after the run
+    assert manifest["rows"] == rows
+    assert manifest["scale"] is None  # fig06 takes no --scale
+
+
+def test_traced_run_replays_to_span_tree(tmp_path, capsys):
+    """Satellite: a traced pass reconstructs the span hierarchy — parent
+    ids resolve, durations are non-negative, the root covers children."""
+    trace = tmp_path / "run.jsonl"
+    chrome = tmp_path / "run.trace.json"
+    assert main(["--only", "fig10", "--scale", "0.1",
+                 "--out", str(tmp_path), "--trace", str(trace),
+                 "--chrome-trace", str(chrome)]) == 0
+
+    roots = span_tree(load_events(trace))
+    exp_roots = [r for r in roots if r["name"] == "experiment"]
+    assert len(exp_roots) == 1
+    root = exp_roots[0]
+    assert root["parent"] is None and root["children"]
+
+    def walk(node):
+        yield node
+        for child in node["children"]:
+            yield from walk(child)
+
+    nodes = list(walk(root))
+    ids = {n["span_id"] for n in nodes}
+    for node in nodes:
+        assert node["wall_s"] >= 0
+        for child in node["children"]:
+            assert child["parent"] in ids
+            assert node["ts"] <= child["ts"]
+            assert node["ts"] + node["wall_s"] >= child["ts"] + child["wall_s"]
+
+    # The Chrome export of the same pass is structurally valid.
+    doc = json.loads(chrome.read_text())
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == len(nodes)
+    assert all(e["dur"] >= 0 for e in xs)
