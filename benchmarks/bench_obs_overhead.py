@@ -1,14 +1,23 @@
 """Microbenchmark: cost of the observability layer on the read hot path.
 
-Three configurations of the FIFO engine on a 5k-request workload:
+Four configurations of the FIFO engine on a 5k-request workload:
 
 * ``reference`` — :func:`uninstrumented_fifo`, a frozen copy of the
   pre-observability engine loop (no tracer check, no metrics), the
   baseline the <10 % no-op overhead budget is measured against;
 * ``noop`` — the real engine with the default :class:`~repro.obs.NullSink`
-  tracer (one hoisted ``enabled`` check; per-request cost ~0);
+  tracer (one hoisted ``enabled`` check; per-request cost ~0) and no
+  timeline collector;
 * ``traced`` — the real engine emitting every ``read``/``read_done``
-  event into an in-memory ring buffer.
+  event into an in-memory ring buffer;
+* ``timeline`` — the real engine with a sim-time
+  :class:`~repro.obs.TimelineConfig` attached (per-partition record
+  buffering plus one finalize pass).
+
+:func:`run_timeline_overhead` additionally times the *enabled* timeline
+path on a fig13-like PS workload (the event-heap engine the tail-latency
+figures use) against the same run with timelines off — the number quoted
+in ``docs/observability.md``.
 
 ``tests/test_obs/test_overhead.py`` reuses :func:`uninstrumented_fifo` and
 asserts the noop/reference ratio stays under 1.10.
@@ -22,7 +31,7 @@ import numpy as np
 
 from repro.cluster.simulation import SimulationConfig, simulate_reads
 from repro.common import ClusterSpec, Gbps
-from repro.obs import RingBufferSink, Tracer
+from repro.obs import RingBufferSink, TimelineConfig, Tracer
 from repro.workloads import paper_fileset, poisson_trace
 
 
@@ -162,15 +171,21 @@ def run_overhead(n_requests: int = 5000, repeats: int = 7):
         discipline="fifo", jitter="deterministic", seed=2, tracer=Tracer(ring)
     )
 
+    timeline_cfg = SimulationConfig(
+        discipline="fifo", jitter="deterministic", seed=2,
+        timeline=TimelineConfig(),
+    )
+
     def _traced():
         ring.clear()
         simulate_reads(trace, policy, cluster, traced_cfg)
 
-    t_ref, t_noop, t_traced = paired_times(
+    t_ref, t_noop, t_traced, t_timeline = paired_times(
         [
             lambda: uninstrumented_fifo(trace, policy, cluster, base_cfg),
             lambda: simulate_reads(trace, policy, cluster, base_cfg),
             _traced,
+            lambda: simulate_reads(trace, policy, cluster, timeline_cfg),
         ],
         repeats,
     )
@@ -181,8 +196,38 @@ def run_overhead(n_requests: int = 5000, repeats: int = 7):
          "vs_reference": t_noop / t_ref},
         {"config": "ring-buffer tracing", "seconds": t_traced,
          "vs_reference": t_traced / t_ref},
+        {"config": "timeline collection", "seconds": t_timeline,
+         "vs_reference": t_timeline / t_ref},
     ]
     return rows
+
+
+def run_timeline_overhead(n_requests: int = 4000, repeats: int = 5):
+    """Enabled-timeline cost on a fig13-like PS (event-heap) workload.
+
+    fig13 runs the ``ps`` discipline on the 30-server EC2-like cluster;
+    this times that engine with timelines off vs. on (default window
+    width) and reports the ratio — the enabled-path number the <25 %
+    budget in ``docs/observability.md`` tracks.
+    """
+    trace, policy, cluster = overhead_workload(n_requests)
+    off_cfg = SimulationConfig(discipline="ps", jitter="deterministic", seed=2)
+    on_cfg = SimulationConfig(
+        discipline="ps", jitter="deterministic", seed=2,
+        timeline=TimelineConfig(),
+    )
+    t_off, t_on = paired_times(
+        [
+            lambda: simulate_reads(trace, policy, cluster, off_cfg),
+            lambda: simulate_reads(trace, policy, cluster, on_cfg),
+        ],
+        repeats,
+    )
+    return [
+        {"config": "ps, timelines off", "seconds": t_off, "vs_off": 1.0},
+        {"config": "ps, timelines on", "seconds": t_on,
+         "vs_off": t_on / t_off},
+    ]
 
 
 def test_obs_overhead(benchmark, report):
@@ -199,4 +244,9 @@ if __name__ == "__main__":  # pragma: no cover
 
     print_table(
         run_overhead(), "Observability overhead — 5k-request FIFO simulation"
+    )
+    print()
+    print_table(
+        run_timeline_overhead(),
+        "Timeline overhead — 4k-request PS (fig13-like) simulation",
     )

@@ -16,6 +16,14 @@ Subcommands
     Replay a JSONL trace into per-server load vectors, an optional load
     timeline, a per-scheme summary table, and the per-scheme end-of-run
     metric snapshots (``METRIC_SNAPSHOT_KEYS`` ordering).
+``timeline``
+    Render a manifest's sim-time timeline sections as sparkline tables
+    (bytes/window, busiest-server busy fraction, queue depth, windowed
+    p99 latency).
+``tail``
+    Render a manifest's tail-latency attribution — p99 split into
+    queueing/straggling/transfer/join — plus the slowest-request
+    exemplars with their per-partition breakdowns.
 ``experiments``
     Regenerate evaluation tables and ``results/<exp>.json`` run
     manifests (thin wrapper over ``repro.experiments.run_all``; also
@@ -30,6 +38,10 @@ Subcommands
 run's event stream while still printing the usual table), and
 ``--discipline SPEC`` (a server discipline from the engine registry —
 ``fifo``, ``ps``, or e.g. ``limited(4)``; see ``docs/engine.md``).
+Tracing commands (``simulate --trace``, ``compare --trace``, ``trace``)
+also take ``--sample N`` to head-sample the high-volume per-request
+events: 1-in-N ``read``/``read_done`` pairs are kept, always both
+halves of a pair together.
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ from repro.core import optimal_scale_factor, partition_counts
 from repro.cluster.network import GoodputModel
 from repro.obs import (
     FileSink,
+    HeadSamplingSink,
     Tracer,
     event_counts,
     load_events,
@@ -62,7 +75,10 @@ from repro.obs import (
     load_timeline,
     metrics_snapshots,
     per_server_loads,
+    tail_attribution_rows,
+    timeline_series_rows,
     trace_summary,
+    unknown_events,
     use_tracer,
 )
 from repro.obs.report import (
@@ -122,6 +138,32 @@ def _discipline_spec(value: str) -> str:
     return value
 
 
+def _sample_every(value: str) -> int:
+    """argparse type for ``--sample``: a positive integer."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--sample needs an integer, got {value!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError("--sample must be >= 1")
+    return n
+
+
+def _add_sample_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample",
+        type=_sample_every,
+        default=1,
+        metavar="N",
+        help=(
+            "head-sample the trace: keep 1-in-N read/read_done pairs "
+            "(both halves of a sampled pair always survive; default 1 = all)"
+        ),
+    )
+
+
 def _add_discipline_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--discipline",
@@ -170,13 +212,24 @@ def _simulate_one(pop, cluster, scheme, args):
     return policy, result, summary
 
 
+def _trace_sink(path: str, sample: int):
+    """A JSONL file sink, head-sampled 1-in-``sample`` when ``sample > 1``."""
+    sink = FileSink(path)
+    return HeadSamplingSink(sink, sample) if sample > 1 else sink
+
+
 @contextmanager
-def _maybe_trace(path: str | None):
-    """Install a JSONL file tracer for the block when ``path`` is given."""
+def _maybe_trace(path: str | None, sample: int = 1):
+    """Install a JSONL file tracer for the block when ``path`` is given.
+
+    ``sample > 1`` records only every ``sample``-th request's
+    ``read``/``read_done`` pair (both halves together); all other events
+    pass through untouched.
+    """
     if not path:
         yield None
         return
-    sink = FileSink(path)
+    sink = _trace_sink(path, sample)
     try:
         with use_tracer(Tracer(sink)):
             yield sink
@@ -193,7 +246,7 @@ def _print_rows(rows, args, title: str) -> None:
 
 def _cmd_simulate(args) -> int:
     pop, cluster = _workload(args)
-    with _maybe_trace(args.trace) as sink:
+    with _maybe_trace(args.trace, args.sample) as sink:
         policy, result, summary = _simulate_one(pop, cluster, args.scheme, args)
     if sink is not None:
         print(
@@ -236,7 +289,7 @@ def _cmd_compare(args) -> int:
             print(f"unknown scheme {scheme!r}", file=sys.stderr)
             return 2
     rows = []
-    with _maybe_trace(args.trace) as sink:
+    with _maybe_trace(args.trace, args.sample) as sink:
         for scheme in schemes:
             policy, result, summary = _simulate_one(pop, cluster, scheme, args)
             rows.append(
@@ -288,7 +341,7 @@ def _cmd_trace(args) -> int:
         if scheme not in _SCHEMES:
             print(f"unknown scheme {scheme!r}", file=sys.stderr)
             return 2
-    sink = FileSink(args.out)
+    sink = _trace_sink(args.out, args.sample)
     try:
         with use_tracer(Tracer(sink)):
             for scheme in schemes:
@@ -378,6 +431,8 @@ def _cmd_stats(args) -> int:
 
     counts = event_counts(events)
     payload["events"] = counts
+    unknown = unknown_events(events)
+    payload["unknown_events"] = unknown
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -387,6 +442,152 @@ def _cmd_stats(args) -> int:
             args,
             title="event counts",
         )
+        if unknown:
+            total = sum(unknown.values())
+            names = ", ".join(unknown)
+            print(
+                f"skipped {total} record(s) with unknown event "
+                f"name(s): {names}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _load_timelines(path: str) -> list[dict] | None:
+    """Timeline sections from a manifest, a section list, or one section.
+
+    Accepts a schema-v2 run manifest (its ``timelines`` list), a bare
+    JSON list of sections, or a single section object — so both
+    ``results/<exp>.json`` and hand-extracted sections render.  Reports
+    failure to stderr and returns ``None``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        print(f"no such file: {path}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"{path} is not JSON ({exc.msg})", file=sys.stderr)
+        return None
+    if isinstance(doc, dict) and "timelines" in doc:
+        sections = doc["timelines"]
+    elif isinstance(doc, list):
+        sections = doc
+    elif isinstance(doc, dict) and "scheme" in doc:
+        sections = [doc]
+    else:
+        print(
+            f"{path} holds neither a run manifest nor timeline sections",
+            file=sys.stderr,
+        )
+        return None
+    sections = [s for s in sections if isinstance(s, dict) and "scheme" in s]
+    if not sections:
+        print(f"no timeline sections in {path}", file=sys.stderr)
+        return None
+    return sections
+
+
+def _section_title(section: dict, i: int) -> str:
+    return (
+        f"{section['scheme']} [{section.get('engine', '?')}] #{i}: "
+        f"{section.get('n_windows', 0)} x {section.get('window_s', 0):.3g}s "
+        f"windows, {section.get('n_requests', 0)} requests"
+    )
+
+
+def _cmd_timeline(args) -> int:
+    """Render the sim-time timeline series of a manifest's sections."""
+    sections = _load_timelines(args.manifest)
+    if sections is None:
+        return 2
+    if args.json:
+        payload = [
+            {
+                "scheme": s["scheme"],
+                "engine": s.get("engine"),
+                "window_s": s.get("window_s"),
+                "n_windows": s.get("n_windows"),
+                "n_requests": s.get("n_requests"),
+                "clipped_partitions": s.get("clipped_partitions"),
+                "clipped_requests": s.get("clipped_requests"),
+                "series": timeline_series_rows(s),
+            }
+            for s in sections
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for i, section in enumerate(sections):
+        rows = timeline_series_rows(section)
+        if not rows:
+            print(f"{_section_title(section, i)}: no windows")
+            continue
+        print(format_table(rows, title=_section_title(section, i)))
+        print()
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    """Render tail-latency attribution and the slowest-request exemplars."""
+    sections = _load_timelines(args.manifest)
+    if sections is None:
+        return 2
+    if args.json:
+        payload = [
+            {
+                "scheme": s["scheme"],
+                "engine": s.get("engine"),
+                "attribution": s["tail"]["attribution"],
+                "warmup_skipped": s["tail"].get("warmup_skipped", 0),
+                "exemplars": s["tail"]["exemplars"][: args.top],
+            }
+            for s in sections
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for i, section in enumerate(sections):
+        tail = section["tail"]
+        attribution = tail["attribution"]
+        title = (
+            f"{_section_title(section, i)} — "
+            f"mean of slowest {tail.get('k', 0)}: "
+            f"{attribution['mean_tail_latency_s']:.4g}s, "
+            f"p99 {attribution['p99_s']:.4g}s"
+        )
+        print(format_table(tail_attribution_rows(section), title=title))
+        exemplar_rows = [
+            {
+                "req": e["req"],
+                "file": e["file_id"],
+                "latency_s": e["latency_s"],
+                "queue_s": e["components"]["queueing_s"],
+                "straggle_s": e["components"]["straggling_s"],
+                "transfer_s": e["components"]["transfer_s"],
+                "join_s": e["components"]["join_s"],
+                "k": e["parallelism"],
+                "last_server": e["last_server"],
+                "flags": "".join(
+                    flag
+                    for flag, on in (
+                        ("S", e["straggled"]),
+                        ("M", e["missed"]),
+                    )
+                    if on
+                )
+                or "-",
+            }
+            for e in tail["exemplars"][: args.top]
+        ]
+        if exemplar_rows:
+            print()
+            print(
+                format_table(
+                    exemplar_rows,
+                    title=f"slowest {len(exemplar_rows)} requests",
+                )
+            )
+        print()
     return 0
 
 
@@ -487,6 +688,7 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", default=None, metavar="PATH",
         help="also record a JSONL event trace to PATH",
     )
+    _add_sample_arg(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="race several schemes")
@@ -504,6 +706,7 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", default=None, metavar="PATH",
         help="also record a JSONL event trace to PATH",
     )
+    _add_sample_arg(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_cfg = sub.add_parser("configure", help="run the scale-factor search")
@@ -522,6 +725,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_discipline_arg(p_trc)
     p_trc.add_argument("--out", required=True, metavar="PATH")
+    _add_sample_arg(p_trc)
     p_trc.set_defaults(func=_cmd_trace)
 
     p_sts = sub.add_parser(
@@ -540,6 +744,36 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="machine-parseable JSON output"
     )
     p_sts.set_defaults(func=_cmd_stats)
+
+    p_tml = sub.add_parser(
+        "timeline",
+        help="render a manifest's sim-time timelines as sparklines",
+    )
+    p_tml.add_argument(
+        "manifest", metavar="MANIFEST",
+        help="a results/<exp>.json manifest (or extracted timeline JSON)",
+    )
+    p_tml.add_argument(
+        "--json", action="store_true", help="machine-parseable JSON output"
+    )
+    p_tml.set_defaults(func=_cmd_timeline)
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="render tail-latency attribution and slowest-request exemplars",
+    )
+    p_tail.add_argument(
+        "manifest", metavar="MANIFEST",
+        help="a results/<exp>.json manifest (or extracted timeline JSON)",
+    )
+    p_tail.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="show the N slowest exemplars per section (default %(default)s)",
+    )
+    p_tail.add_argument(
+        "--json", action="store_true", help="machine-parseable JSON output"
+    )
+    p_tail.set_defaults(func=_cmd_tail)
 
     p_exp = sub.add_parser("experiments", help="regenerate evaluation tables")
     p_exp.add_argument("--only", default=None)

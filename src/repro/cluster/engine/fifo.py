@@ -37,6 +37,8 @@ class FifoDiscipline:
         exponential = lc.exponential
         injector = lc.injector
         emit = lc.emit
+        observe = lc.observe
+        collector = lc.collector
         times = lc.trace.times
         file_ids = lc.trace.file_ids
 
@@ -68,6 +70,7 @@ class FifoDiscipline:
             # fork-join sees the late time, the queue does not.
             reported = completion
             straggled = False
+            extra = None
             if injector.enabled:
                 extra, mult = lc.report_delays(op)
                 reported = completion + extra
@@ -86,6 +89,23 @@ class FifoDiscipline:
                 t, join_at, op.post_fraction, op.post_seconds, missed
             )
             latencies[j] = latency
+
+            if observe:
+                collector.record_partitions(
+                    j,
+                    servers,
+                    op.sizes,
+                    start,
+                    completion,
+                    extra if extra is not None else np.zeros(reported.size),
+                    np.broadcast_to(
+                        np.asarray(factors, dtype=np.float64), (reported.size,)
+                    ),
+                )
+                collector.record_request(j, missed=missed, straggled=straggled)
+                collector.record_join(
+                    j, int(np.flatnonzero(reported == join_at)[0])
+                )
 
             if emit:
                 lc.emit_read(

@@ -34,6 +34,12 @@ from repro.cluster.stragglers import StragglerInjector
 from repro.common import ClusterSpec, make_rng
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
+from repro.obs.timeline import (
+    TimelineCollector,
+    TimelineConfig,
+    get_timeline_config,
+    publish_timeline,
+)
 from repro.obs.tracing import Tracer, get_tracer
 from repro.store.lru import LRUCache
 from repro.workloads.arrivals import ArrivalTrace
@@ -138,6 +144,10 @@ class SimulationConfig:
 
     ``tracer`` overrides the process-wide tracer for this run (``None``
     means use :func:`repro.obs.get_tracer`, a no-op unless installed).
+    ``timeline`` enables sim-time timeline collection
+    (:mod:`repro.obs.timeline`) for this run; ``None`` falls back to the
+    ambient :func:`repro.obs.timeline.get_timeline_config`, itself a
+    no-op unless installed.
     """
 
     discipline: object = "ps"  # str spec or ServerDiscipline instance
@@ -149,6 +159,7 @@ class SimulationConfig:
     miss_penalty: float = 3.0
     warmup_fraction: float = 0.1
     tracer: Tracer | None = None
+    timeline: TimelineConfig | None = None
 
     def __post_init__(self) -> None:
         from repro.cluster.engine.registry import resolve_discipline
@@ -165,6 +176,13 @@ class SimulationConfig:
             raise ValueError("miss_penalty must be >= 1")
         if not 0 <= self.warmup_fraction < 1:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.timeline is not None and not isinstance(
+            self.timeline, TimelineConfig
+        ):
+            raise TypeError(
+                f"timeline must be a TimelineConfig or None, "
+                f"got {type(self.timeline).__name__}"
+            )
 
 
 @dataclass
@@ -182,6 +200,9 @@ class SimulationResult:
     #: event carries; keys in
     #: :data:`repro.cluster.engine.lifecycle.METRIC_SNAPSHOT_KEYS`.
     metrics: dict[str, float | int | str] = field(default_factory=dict)
+    #: Finalized sim-time timeline section (``None`` unless the run had
+    #: timeline collection enabled) — see :mod:`repro.obs.timeline`.
+    timeline: dict | None = None
 
     @property
     def n_requests(self) -> int:
@@ -274,6 +295,24 @@ class RequestLifecycle:
         #: Hoisted enabled check — disabled tracing must stay free.
         self.emit = self.tracer.enabled
         self.scheme = planner_name(planner)
+        timeline_config = (
+            config.timeline
+            if config.timeline is not None
+            else get_timeline_config()
+        )
+        self.collector: TimelineCollector | None = (
+            TimelineCollector(
+                timeline_config,
+                n_requests=self.n_requests,
+                n_servers=cluster.n_servers,
+                scheme=self.scheme,
+                engine=engine,
+            )
+            if timeline_config is not None
+            else None
+        )
+        #: Hoisted timeline check — disabled collection must stay free.
+        self.observe = self.collector is not None
         # Memoize goodput factors: parallelism is a small integer and
         # bandwidth comes from a short array, so this avoids one
         # interpolation per (fan-out, server-speed) pair.
@@ -408,6 +447,17 @@ class RequestLifecycle:
             tracer=self.tracer,
             end_ts=float(self.trace.times[-1]) if self.n_requests else 0.0,
         )
+        timeline = None
+        if self.collector is not None:
+            timeline = self.collector.finalize(
+                times=self.trace.times,
+                file_ids=self.trace.file_ids,
+                latencies=latencies,
+                warmup_fraction=self.config.warmup_fraction,
+            )
+            publish_timeline(timeline)
+            if self.emit:
+                self._emit_timeline_windows(timeline)
         return SimulationResult(
             latencies=latencies,
             arrival_times=self.trace.times.copy(),
@@ -417,4 +467,25 @@ class RequestLifecycle:
             misses=self.misses,
             config=self.config,
             metrics=metrics,
+            timeline=timeline,
         )
+
+    def _emit_timeline_windows(self, timeline: dict) -> None:
+        """One ``timeline_window`` trace event per retained window."""
+        window_s = timeline["window_s"]
+        for w in range(timeline["n_windows"]):
+            served = timeline["bytes"][w]
+            busy = timeline["busy_s"][w]
+            depth = timeline["queue_depth"][w]
+            self.tracer.event(
+                ev.TIMELINE_WINDOW,
+                ts=w * window_s,
+                scheme=self.scheme,
+                window=w,
+                window_s=window_s,
+                bytes=float(sum(served)),
+                busy_max_s=float(max(busy)) if busy else 0.0,
+                queue_depth_mean=(
+                    float(sum(depth) / len(depth)) if depth else 0.0
+                ),
+            )

@@ -61,6 +61,8 @@ def _run_heap(
     goodput = lc.goodput
     exponential = lc.exponential
     emit = lc.emit
+    observe = lc.observe
+    collector = lc.collector
 
     server_bytes = np.zeros(lc.cluster.n_servers)
     latencies = np.full(n_requests, np.nan)
@@ -79,6 +81,12 @@ def _run_heap(
     f_last: list[float] = []
     f_gen: list[int] = []
     f_extra: list[float] = []  # straggler report delay, seconds
+    # Timeline bookkeeping, appended only when observing (indices stay
+    # aligned with the lists above because ``observe`` is run-constant).
+    f_pos: list[int] = []  # partition position within the fork-join
+    f_start: list[float] = []  # activation time (first holds bandwidth)
+    f_bytes: list[float] = []  # nominal partition bytes
+    f_gfactor: list[float] = []  # per-connection goodput factor
 
     # Only *active* flows hold bandwidth and appear in these sets; under
     # a finite capacity the overflow waits, rate-0, in per-server FIFOs.
@@ -118,10 +126,16 @@ def _run_heap(
         eta = f_last[fid] + f_remaining[fid] / f_rate[fid]
         heapq.heappush(heap, (eta, 1, fid, f_gen[fid]))
 
-    def notify(j: int, t: float) -> None:
-        """One partition read reported complete to request ``j``'s join."""
+    def notify(j: int, t: float, pos: int) -> None:
+        """One partition read reported complete to request ``j``'s join.
+
+        ``pos`` is the reporting flow's partition position — when it
+        fires the join it is the critical partition for attribution.
+        """
         req_remaining[j] -= 1
         if req_remaining[j] == 0:
+            if observe:
+                collector.record_join(j, pos)
             latency = lc.request_latency(
                 float(trace.times[j]),
                 t,
@@ -147,10 +161,16 @@ def _run_heap(
             op = lc.plan(fid0)
             k = op.parallelism
             sizes = op.sizes.astype(np.float64).copy()
+            gfactors: list[float] | None = [] if observe else None
             if goodput is not None:
                 for pos in range(k):
                     b = float(bandwidths[op.server_ids[pos]])
-                    sizes[pos] /= lc.goodput_factor(k, b)
+                    g = lc.goodput_factor(k, b)
+                    sizes[pos] /= g
+                    if gfactors is not None:
+                        gfactors.append(g)
+            elif gfactors is not None:
+                gfactors = [1.0] * k
             if exponential:
                 sizes *= rng.exponential(1.0, size=k)
             straggled = False
@@ -177,6 +197,11 @@ def _run_heap(
                 f_last.append(t)
                 f_gen.append(0)
                 f_extra.append(float(extra[pos]))
+                if observe:
+                    f_pos.append(pos)
+                    f_start.append(t)  # overwritten if the flow waits
+                    f_bytes.append(float(op.sizes[pos]))
+                    f_gfactor.append(gfactors[pos])
                 server_bytes[sid] += op.sizes[pos]
                 if capacity is None or len(server_active[sid]) < capacity:
                     affected.update(server_active[sid])
@@ -193,6 +218,10 @@ def _run_heap(
                     op=op,
                     straggled=straggled,
                     missed=bool(req_miss[j]),
+                )
+            if observe:
+                collector.record_request(
+                    j, missed=bool(req_miss[j]), straggled=straggled
                 )
             # Flows already active on touched servers lose share; bring
             # them to t first, then recompute every rate under the new
@@ -214,12 +243,23 @@ def _run_heap(
             server_active[sid].discard(fid)
             request_active[j].discard(fid)
             f_gen[fid] += 1  # invalidate any residual candidates
+            if observe:
+                collector.record_partition(
+                    j,
+                    f_pos[fid],
+                    sid,
+                    f_bytes[fid],
+                    f_start[fid],
+                    t,
+                    f_extra[fid],
+                    f_gfactor[fid],
+                )
 
             if f_extra[fid] > 0.0:
                 # Straggler: bandwidth freed now, completion reported late.
                 heapq.heappush(heap, (t + f_extra[fid], 2, fid, 0))
             else:
-                notify(j, t)
+                notify(j, t, f_pos[fid] if observe else -1)
 
             affected = server_active[sid] | request_active[j]
             if capacity is not None and server_waiting[sid]:
@@ -227,6 +267,8 @@ def _run_heap(
                 # activation also squeezes its request's flows elsewhere.
                 woken = server_waiting[sid].popleft()
                 f_last[woken] = t
+                if observe:
+                    f_start[woken] = t
                 server_active[sid].add(woken)
                 request_active[f_request[woken]].add(woken)
                 affected |= server_active[sid]
@@ -237,7 +279,7 @@ def _run_heap(
                 reschedule(ofid)
 
         else:  # kind == 2: delayed straggler report reaches the client
-            notify(f_request[ident], t)
+            notify(f_request[ident], t, f_pos[ident] if observe else -1)
 
     if np.isnan(latencies).any():  # pragma: no cover - engine invariant
         raise AssertionError("some requests never completed")

@@ -29,6 +29,7 @@ from repro.core.repartition import (
 )
 from repro.cluster import imbalance_factor
 from repro.experiments.config import EC2_CLUSTER
+from repro.obs.timeline import get_timeline_config
 from repro.policies import SPCachePolicy
 from repro.workloads import paper_fileset, shuffled_popularity
 
@@ -40,6 +41,42 @@ PAPER = {
     "changed_fraction": "decreases with file count",
     "greedy_beats_random": True,
 }
+
+
+def _emit_recovery_timelines(n_files: int = 200, seed: int = 0) -> None:
+    """Publish three sim-time timelines bracketing one popularity shift.
+
+    The repartition rows above are planning-only (no simulation), so when
+    timeline collection is ambiently enabled this runs three small
+    simulations — the pre-shift layout on the pre-shift workload, the
+    *stale* layout serving the shifted workload, and the repartitioned
+    layout on the same shifted workload — whose published sections show
+    the load imbalance appearing and then recovering.  Sections are
+    labelled by scheme ``pre-shift`` / ``stale-layout`` /
+    ``repartitioned``.
+    """
+    from repro.cluster import SimulationConfig, simulate_reads
+    from repro.workloads import poisson_trace
+
+    pop = paper_fileset(
+        n_files, size_mb=50, zipf_exponent=1.05, total_rate=10.0
+    )
+    shifted = pop.with_popularities(
+        shuffled_popularity(pop.popularities, seed=seed)
+    )
+    stale = SPCachePolicy(pop, EC2_CLUSTER, straggler_aware=True, seed=seed)
+    fresh = SPCachePolicy(
+        shifted, EC2_CLUSTER, straggler_aware=True, seed=seed
+    )
+    config = SimulationConfig(jitter="deterministic", seed=seed)
+    for label, policy, workload in (
+        ("pre-shift", stale, pop),
+        ("stale-layout", stale, shifted),
+        ("repartitioned", fresh, shifted),
+    ):
+        trace = poisson_trace(workload, n_requests=400, seed=seed)
+        policy.name = label  # labels the published timeline section
+        simulate_reads(trace, policy, EC2_CLUSTER, config)
 
 
 def run_fig16(
@@ -123,4 +160,6 @@ def run_fig16(
                 "eta_random": float(np.mean(etas_random)),
             }
         )
+    if get_timeline_config() is not None:
+        _emit_recovery_timelines()
     return rows

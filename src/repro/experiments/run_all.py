@@ -15,6 +15,12 @@ isolates the run's counters, and the outcome lands three ways:
   timeline of every span in the pass (``--chrome-trace``), loadable at
   https://ui.perfetto.dev.
 
+The load-balance/tail figures (fig12, fig13, fig16, fig19) additionally
+run with sim-time timelines enabled (:mod:`repro.obs.timeline`); the
+recorded sections land in their manifests' ``timelines`` list — render
+with ``python -m repro timeline`` / ``repro tail`` — and
+``--chrome-trace`` gains per-scheme counter tracks.
+
 ``--scale 0.25`` shrinks the simulated request counts for a quick pass;
 ``--only fig13`` runs a single experiment.
 """
@@ -33,6 +39,12 @@ from repro.obs.spans import (
     collect_spans,
     span,
     write_chrome_trace,
+)
+from repro.obs.timeline import (
+    TimelineConfig,
+    chrome_counter_events,
+    collect_timelines,
+    use_timeline,
 )
 from repro.obs.tracing import FileSink, Tracer, use_tracer
 
@@ -64,6 +76,13 @@ __all__ = ["EXPERIMENTS", "main", "run_experiment"]
 #: ``config.timing_rows = True`` so ``repro report --diff`` compares the
 #: rows with the tolerant wall-time rule instead of exact equality.
 _TIMING_ROWS = frozenset({"fig10"})
+
+#: Experiments that record sim-time timelines into their manifests: the
+#: load-balance and tail-latency figures (fig12/fig13), recovery after a
+#: popularity shift (fig16), and straggler mitigation (fig19).  Their
+#: manifests carry the published timeline sections and ``repro timeline``
+#: / ``repro tail`` render them.
+_TIMELINE_EXPERIMENTS = frozenset({"fig12", "fig13", "fig16", "fig19"})
 
 #: name -> (runner, accepts_scale)
 EXPERIMENTS = {
@@ -104,11 +123,20 @@ def run_experiment(
     runner, scalable = EXPERIMENTS[name]
     collector = SpanCollector()
     registry = MetricsRegistry()
+    timelines: list[dict] = []
+    record_timelines = name in _TIMELINE_EXPERIMENTS
     previous = set_registry(registry)
     try:
         with collect_spans(collector):
             with span("experiment", experiment=name):
-                rows = runner(scale=scale) if scalable else runner()
+                if record_timelines:
+                    with collect_timelines(timelines):
+                        with use_timeline(TimelineConfig()):
+                            rows = (
+                                runner(scale=scale) if scalable else runner()
+                            )
+                else:
+                    rows = runner(scale=scale) if scalable else runner()
     finally:
         set_registry(previous)
     roots = [r for r in collector.roots() if r.name == "experiment"]
@@ -118,6 +146,7 @@ def run_experiment(
         "scale": scale if scalable else None,
         "accepts_scale": scalable,
         "timing_rows": name in _TIMING_ROWS,
+        "timelines": record_timelines,
         "defaults": {
             "n_requests": DEFAULTS.n_requests,
             "seed_trace": DEFAULTS.seed_trace,
@@ -134,6 +163,7 @@ def run_experiment(
         config=config,
         spans=collector.records,
         metrics=registry.snapshot(),
+        timelines=timelines,
     )
     return rows, manifest
 
@@ -143,8 +173,12 @@ def _run_and_write(
     scale: float,
     outdir: pathlib.Path,
     session_spans: SpanCollector,
+    session_timelines: list[dict],
 ) -> None:
-    with collect_spans(session_spans):
+    # The outer timeline sink sees every section the per-experiment sinks
+    # do (sinks nest), so ``--chrome-trace`` can add counter tracks for
+    # the whole pass.
+    with collect_spans(session_spans), collect_timelines(session_timelines):
         for name in names:
             rows, manifest = run_experiment(name, scale=scale)
             text = format_table(
@@ -180,22 +214,31 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     session_spans = SpanCollector()
+    session_timelines: list[dict] = []
     if args.trace:
         sink = FileSink(args.trace)
         try:
             with use_tracer(Tracer(sink)):
-                _run_and_write(names, args.scale, outdir, session_spans)
+                _run_and_write(
+                    names, args.scale, outdir, session_spans,
+                    session_timelines,
+                )
         finally:
             sink.close()
         print(
             f"trace: {sink.n_records} events -> {sink.path}", file=sys.stderr
         )
     else:
-        _run_and_write(names, args.scale, outdir, session_spans)
+        _run_and_write(
+            names, args.scale, outdir, session_spans, session_timelines
+        )
 
     if args.chrome_trace:
         n_spans = write_chrome_trace(
-            session_spans, args.chrome_trace, process_name="repro.run_all"
+            session_spans,
+            args.chrome_trace,
+            process_name="repro.run_all",
+            extra_events=chrome_counter_events(session_timelines),
         )
         print(
             f"chrome trace: {n_spans} spans -> {args.chrome_trace}",

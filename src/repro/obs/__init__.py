@@ -18,9 +18,16 @@ Cooperating pieces (each documented in its module, schema tables in
     Turn a JSONL trace back into per-server load vectors, load timelines,
     latency samples, metric snapshots, and span trees — what
     ``python -m repro stats`` prints.
+:mod:`repro.obs.timeline`
+    Sim-time windowed timelines and tail-latency attribution: per-server
+    busy/queue/bytes series keyed to simulated seconds, plus a bounded
+    reservoir of slowest-request exemplars with per-partition breakdowns.
+    Disabled by default; every discipline records through the shared
+    :class:`~repro.cluster.engine.lifecycle.RequestLifecycle`.
 :mod:`repro.obs.runinfo`
     Schema-versioned run manifests (``results/<exp>.json``): provenance,
-    structured rows, per-span wall times, final metrics snapshot.
+    structured rows, per-span wall times, final metrics snapshot, and
+    any timeline sections the run published.
 :mod:`repro.obs.report`
     Aggregate manifests into markdown and diff two manifest sets for
     wall-time/metric regressions (``python -m repro report``).
@@ -40,6 +47,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiling import profile, profiled
 from repro.obs.replay import (
+    KNOWN_EVENTS,
     event_counts,
     iter_trace,
     latency_samples,
@@ -49,9 +57,11 @@ from repro.obs.replay import (
     per_server_loads,
     span_tree,
     trace_summary,
+    unknown_events,
 )
 from repro.obs.runinfo import (
     MANIFEST_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     build_manifest,
     config_hash,
     git_sha,
@@ -70,8 +80,22 @@ from repro.obs.spans import (
     span_wrap,
     write_chrome_trace,
 )
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA_VERSION,
+    TimelineCollector,
+    TimelineConfig,
+    chrome_counter_events,
+    collect_timelines,
+    get_timeline_config,
+    publish_timeline,
+    sparkline,
+    tail_attribution_rows,
+    timeline_series_rows,
+    use_timeline,
+)
 from repro.obs.tracing import (
     FileSink,
+    HeadSamplingSink,
     NullSink,
     RingBufferSink,
     Tracer,
@@ -84,22 +108,31 @@ __all__ = [
     "Counter",
     "FileSink",
     "Gauge",
+    "HeadSamplingSink",
     "Histogram",
+    "KNOWN_EVENTS",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "NullSink",
     "RingBufferSink",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SpanCollector",
     "SpanRecord",
+    "TIMELINE_SCHEMA_VERSION",
+    "TimelineCollector",
+    "TimelineConfig",
     "Tracer",
     "build_manifest",
+    "chrome_counter_events",
     "chrome_trace",
     "collect_spans",
+    "collect_timelines",
     "config_hash",
     "current_span_id",
     "event_counts",
     "events",
     "get_registry",
+    "get_timeline_config",
     "get_tracer",
     "git_sha",
     "iter_trace",
@@ -112,13 +145,19 @@ __all__ = [
     "per_server_loads",
     "profile",
     "profiled",
+    "publish_timeline",
     "reset_registry",
     "set_registry",
     "set_tracer",
     "span",
     "span_tree",
     "span_wrap",
+    "sparkline",
+    "tail_attribution_rows",
+    "timeline_series_rows",
     "trace_summary",
+    "unknown_events",
+    "use_timeline",
     "use_tracer",
     "validate_manifest",
     "write_chrome_trace",

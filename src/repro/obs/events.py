@@ -22,6 +22,7 @@ __all__ = ["EVENT_LAYER", "SIMULATOR_EVENTS", "STORE_EVENTS", "CORE_EVENTS"]
 READ = "read"  # one fork-join request: servers, sizes, queue wait
 READ_DONE = "read_done"  # request completion: latency
 SIMULATION_END = "simulation_end"  # per-run aggregates
+TIMELINE_WINDOW = "timeline_window"  # one sim-time window: bytes, busy, queue
 
 # -- byte store (repro.store) -------------------------------------------------
 BLOCK_PUT = "block_put"
@@ -46,7 +47,7 @@ REPARTITION_TIME = "repartition_time"  # timing-model evaluation
 SPAN = "span"  # hierarchical wall-clock span: name, span_id, parent, wall_s
 PROFILE = "profile"  # legacy flat wall-clock span: name, wall_s
 
-SIMULATOR_EVENTS = (READ, READ_DONE, SIMULATION_END)
+SIMULATOR_EVENTS = (READ, READ_DONE, SIMULATION_END, TIMELINE_WINDOW)
 STORE_EVENTS = (
     BLOCK_PUT,
     BLOCK_GET,

@@ -9,6 +9,12 @@ reconstruct the exact per-server load vector a run produced in-process
 
 Traces may interleave several schemes (a traced ``compare`` run); every
 function here groups by the ``scheme`` field.
+
+Replay is *tolerant*: records with unknown event names — a trace written
+by a newer build, or hand-annotated — are skipped rather than raised on,
+and :func:`unknown_events` counts them so ``repro stats`` can surface
+the skips.  Lines that are not JSON objects and simulator records
+missing their required fields are likewise dropped.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import numpy as np
 from repro.obs import events as ev
 
 __all__ = [
+    "KNOWN_EVENTS",
     "iter_trace",
     "load_events",
     "event_counts",
@@ -31,15 +38,30 @@ __all__ = [
     "latency_samples",
     "span_tree",
     "trace_summary",
+    "unknown_events",
 ]
 
+#: every event name this build's replay code understands.
+KNOWN_EVENTS = frozenset(ev.EVENT_LAYER)
+
+
 def iter_trace(path: str | Path) -> Iterator[dict[str, Any]]:
-    """Yield one record per non-empty line of a JSONL trace file."""
+    """Yield one record per parseable non-empty line of a JSONL trace.
+
+    Lines that are not valid JSON objects are skipped — a truncated
+    final line from a killed run must not poison the whole replay.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
 
 
 def load_events(source) -> list[dict[str, Any]]:
@@ -48,8 +70,24 @@ def load_events(source) -> list[dict[str, Any]]:
         return list(iter_trace(source))
     records = getattr(source, "records", None)  # RingBufferSink
     if records is not None:
-        return list(records)
-    return list(source)
+        source = records
+    return [r for r in source if isinstance(r, dict)]
+
+
+def unknown_events(source) -> dict[str, int]:
+    """Counts of records whose event name is outside :data:`KNOWN_EVENTS`.
+
+    Replay functions skip these silently (forward compatibility with
+    traces from newer builds); this is the counter that makes the skips
+    visible.  Records with no ``event`` field count under ``"?"``.
+    """
+    counts: dict[str, int] = {}
+    for record in load_events(source):
+        name = record.get("event")
+        if name not in KNOWN_EVENTS:
+            key = "?" if name is None else str(name)
+            counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
 
 
 def event_counts(source) -> dict[str, int]:
@@ -64,7 +102,12 @@ def event_counts(source) -> dict[str, int]:
 def _reads_by_scheme(events) -> dict[str, list[dict[str, Any]]]:
     groups: dict[str, list[dict[str, Any]]] = {}
     for record in events:
-        if record.get("event") == ev.READ:
+        if (
+            record.get("event") == ev.READ
+            and "ts" in record
+            and "servers" in record
+            and "sizes" in record
+        ):
             groups.setdefault(record.get("scheme", "?"), []).append(record)
     return groups
 
@@ -163,7 +206,7 @@ def latency_samples(source) -> dict[str, np.ndarray]:
     events = load_events(source)
     groups: dict[str, list[float]] = {}
     for record in events:
-        if record.get("event") == ev.READ_DONE:
+        if record.get("event") == ev.READ_DONE and "latency" in record:
             groups.setdefault(record.get("scheme", "?"), []).append(
                 float(record["latency"])
             )

@@ -9,10 +9,10 @@ mechanically.  ``repro report`` (:mod:`repro.obs.report`) aggregates and
 diffs these files; CI uploads them as artifacts so the perf trajectory
 accumulates.
 
-Schema (version 1) — one flat JSON object:
+Schema (version 2) — one flat JSON object:
 
 ===================  ==========================================================
-``schema_version``   ``1``
+``schema_version``   ``2``
 ``experiment``       experiment name (``fig10``, ``theorem1``, ...)
 ``created_unix``     ``time.time()`` at manifest build
 ``git_sha``          ``git rev-parse HEAD`` or ``None`` outside a checkout
@@ -25,7 +25,13 @@ Schema (version 1) — one flat JSON object:
 ``spans``            finished spans: ``name``/``span_id``/``parent``/
                      ``start``/``wall_s`` (+ optional ``labels``)
 ``metrics``          metrics-registry snapshot at end of run
+``timelines``        sim-time timeline sections published during the run
+                     (:mod:`repro.obs.timeline`); empty list when the
+                     experiment records none.  New in version 2.
 ===================  ==========================================================
+
+Version-1 manifests (no ``timelines`` key) still load; readers treat a
+missing ``timelines`` as an empty list.
 
 :func:`validate_manifest` enforces this shape; :func:`load_manifest`
 validates on read so a corrupt or foreign JSON file fails loudly rather
@@ -43,6 +49,7 @@ from typing import Any, Iterable
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "build_manifest",
     "config_hash",
     "git_sha",
@@ -52,7 +59,10 @@ __all__ = [
     "write_manifest",
 ]
 
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2
+
+#: schema versions this build can read.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: required key -> accepted types (``None`` entries listed explicitly).
 _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
@@ -68,6 +78,11 @@ _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
     "rows": (list,),
     "spans": (list,),
     "metrics": (dict,),
+}
+
+#: keys required only from a given schema version onward.
+_VERSIONED_FIELDS: dict[str, tuple[int, tuple[type, ...]]] = {
+    "timelines": (2, (list,)),
 }
 
 
@@ -116,11 +131,13 @@ def build_manifest(
     config: dict[str, Any] | None = None,
     spans: Iterable[Any] = (),
     metrics: dict[str, Any] | None = None,
+    timelines: Iterable[dict[str, Any]] = (),
 ) -> dict[str, Any]:
-    """Assemble and validate one schema-version-1 manifest.
+    """Assemble and validate one current-schema manifest.
 
     ``spans`` accepts :class:`~repro.obs.spans.SpanRecord` objects or
-    plain dicts; ``config`` is hashed with :func:`config_hash`.
+    plain dicts; ``config`` is hashed with :func:`config_hash`;
+    ``timelines`` takes sections from :mod:`repro.obs.timeline`.
     """
     config = dict(config or {})
     manifest: dict[str, Any] = {
@@ -136,12 +153,13 @@ def build_manifest(
         "rows": [dict(r) for r in rows],
         "spans": _span_dicts(spans),
         "metrics": dict(metrics or {}),
+        "timelines": [dict(t) for t in timelines],
     }
     return validate_manifest(manifest)
 
 
 def validate_manifest(manifest: Any) -> dict[str, Any]:
-    """Check the version-1 schema; returns ``manifest`` or raises ValueError."""
+    """Check the manifest schema; returns ``manifest`` or raises ValueError."""
     if not isinstance(manifest, dict):
         raise ValueError(
             f"manifest must be a JSON object, got {type(manifest).__name__}"
@@ -155,12 +173,26 @@ def validate_manifest(manifest: Any) -> dict[str, Any]:
                 f"{type(manifest[key]).__name__}, expected one of "
                 f"{'/'.join(t.__name__ for t in types)}"
             )
-    if manifest["schema_version"] != MANIFEST_SCHEMA_VERSION:
+    if manifest["schema_version"] not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
             f"unsupported manifest schema_version "
             f"{manifest['schema_version']!r} (this build reads "
-            f"{MANIFEST_SCHEMA_VERSION})"
+            f"{'/'.join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)})"
         )
+    for key, (since, types) in _VERSIONED_FIELDS.items():
+        if manifest["schema_version"] < since:
+            continue
+        if key not in manifest:
+            raise ValueError(
+                f"manifest is missing required key {key!r} "
+                f"(required since schema version {since})"
+            )
+        if not isinstance(manifest[key], types):
+            raise ValueError(
+                f"manifest key {key!r} has type "
+                f"{type(manifest[key]).__name__}, expected one of "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
     if manifest["wall_s"] < 0:
         raise ValueError("manifest wall_s must be non-negative")
     for i, row in enumerate(manifest["rows"]):
@@ -173,6 +205,11 @@ def validate_manifest(manifest: Any) -> dict[str, Any]:
             )
         if s["wall_s"] < 0:
             raise ValueError(f"manifest span {i} has negative wall_s")
+    for i, section in enumerate(manifest.get("timelines", ())):
+        if not isinstance(section, dict) or "scheme" not in section:
+            raise ValueError(
+                f"manifest timeline {i} must be an object with a scheme"
+            )
     return manifest
 
 
@@ -199,9 +236,9 @@ def load_manifest_dir(
     """Load every valid manifest under ``path`` (non-recursive).
 
     Returns ``(manifests, skipped)``: manifests keyed by experiment name,
-    plus the file names that exist but are not valid version-1 manifests
-    (e.g. ``BENCH_*.json`` trajectory files) so callers can warn instead
-    of silently ignoring them.
+    plus the file names that exist but are not valid manifests (e.g.
+    ``BENCH_*.json`` trajectory files) so callers can warn instead of
+    silently ignoring them.
     """
     path = Path(path)
     manifests: dict[str, dict[str, Any]] = {}

@@ -322,7 +322,11 @@ def _as_span_dicts(source: Any) -> list[dict[str, Any]]:
     return out
 
 
-def chrome_trace(source: Any, process_name: str = "repro") -> dict[str, Any]:
+def chrome_trace(
+    source: Any,
+    process_name: str = "repro",
+    extra_events: list[dict[str, Any]] | None = None,
+) -> dict[str, Any]:
     """Convert spans to the Chrome trace-event JSON format.
 
     ``source`` may be a :class:`SpanCollector`, an iterable of
@@ -330,6 +334,11 @@ def chrome_trace(source: Any, process_name: str = "repro") -> dict[str, Any]:
     and legacy ``profile`` records).  Each span becomes one complete
     ("X"-phase) event with microsecond timestamps, so the output loads
     directly in ``chrome://tracing`` and https://ui.perfetto.dev.
+
+    ``extra_events`` appends preformatted trace events verbatim — e.g.
+    the counter ("C"-phase) series from
+    :func:`repro.obs.timeline.chrome_counter_events`, which live on
+    their own pid so sim-time counters never shear the wall-clock spans.
     """
     spans = _as_span_dicts(source)
     trace_events: list[dict[str, Any]] = [
@@ -359,13 +368,20 @@ def chrome_trace(source: Any, process_name: str = "repro") -> dict[str, Any]:
                 "args": args,
             }
         )
+    if extra_events:
+        trace_events.extend(extra_events)
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(
-    source: Any, path: str | Path, process_name: str = "repro"
+    source: Any,
+    path: str | Path,
+    process_name: str = "repro",
+    extra_events: list[dict[str, Any]] | None = None,
 ) -> int:
     """Write :func:`chrome_trace` output to ``path``; returns the span count."""
-    doc = chrome_trace(source, process_name=process_name)
+    doc = chrome_trace(
+        source, process_name=process_name, extra_events=extra_events
+    )
     Path(path).write_text(json.dumps(doc), encoding="utf-8")
     return sum(1 for e in doc["traceEvents"] if e["ph"] == "X")

@@ -38,8 +38,11 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro.obs import events as ev
+
 __all__ = [
     "FileSink",
+    "HeadSamplingSink",
     "NullSink",
     "RingBufferSink",
     "Tracer",
@@ -123,6 +126,61 @@ class FileSink:
             self._fh.close()
 
     def __enter__(self) -> "FileSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+#: per-request event pairs thinned together by :class:`HeadSamplingSink`.
+_SAMPLED_EVENTS = frozenset({ev.READ, ev.READ_DONE})
+
+
+class HeadSamplingSink:
+    """Record 1-in-``every`` requests' ``read``/``read_done`` pairs.
+
+    Wraps another sink and forwards everything except the high-volume
+    per-request simulator events, which pass only when ``req % every ==
+    0`` — so both halves of a sampled pair always survive together (they
+    share the ``req`` field) and downstream pairing logic in
+    :mod:`repro.obs.replay` keeps working on the thinned trace.  Records
+    without a ``req`` field (spans, store/core events, windows) are never
+    dropped.  ``every=1`` forwards everything.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Any, every: int) -> None:
+        if every < 1:
+            raise ValueError("every must be a positive integer")
+        self._sink = sink
+        self.every = int(every)
+        self.n_sampled_out = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if record.get("event") in _SAMPLED_EVENTS:
+            req = record.get("req")
+            if req is not None and int(req) % self.every != 0:
+                self.n_sampled_out += 1
+                return
+        self._sink.emit(record)
+
+    @property
+    def path(self) -> str:
+        return self._sink.path
+
+    @property
+    def n_records(self) -> int:
+        return self._sink.n_records
+
+    def flush(self) -> None:
+        if hasattr(self._sink, "flush"):
+            self._sink.flush()
+
+    def close(self) -> None:
+        self._sink.close()
+
+    def __enter__(self) -> "HeadSamplingSink":
         return self
 
     def __exit__(self, *exc: Any) -> None:

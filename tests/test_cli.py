@@ -123,15 +123,37 @@ def test_stats_bad_inputs_fail_cleanly(tmp_path, capsys):
     assert main(["stats", str(tmp_path / "missing.jsonl")]) == 2
     assert "no such trace file" in capsys.readouterr().err
 
+    # Corrupt lines and field-less reads are skipped, not fatal; with
+    # nothing usable left the command still reports the empty trace.
     corrupt = tmp_path / "corrupt.jsonl"
     corrupt.write_text('{"event": "read"}\n{broken\n')
-    assert main(["stats", str(corrupt)]) == 2
-    assert "not a JSONL trace" in capsys.readouterr().err
+    assert main(["stats", str(corrupt)]) == 1
+    assert "no read events" in capsys.readouterr().err
 
     good = tmp_path / "ok.jsonl"
     good.write_text("")
     assert main(["stats", str(good), "--timeline", "-3"]) == 2
     assert "--timeline" in capsys.readouterr().err
+
+
+def test_stats_tolerates_corrupt_and_unknown_records(tmp_path, capsys):
+    """A trace with trailing garbage and unknown event kinds still
+    replays: bad lines are skipped and unknown kinds are counted."""
+    out = tmp_path / "run.jsonl"
+    main(["trace", "--schemes", "sp", "--out", str(out), *FAST])
+    with out.open("a") as fh:
+        fh.write("{broken json\n")
+        fh.write('{"event": "future_thing", "ts": 1.0}\n')
+        fh.write('["not", "a", "dict"]\n')
+    capsys.readouterr()
+    assert main(["stats", str(out), "--json"]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["summary"][0]["scheme"] == "sp-cache"
+    assert payload["unknown_events"] == {"future_thing": 1}
+    # Table mode surfaces the skipped kinds on stderr.
+    assert main(["stats", str(out)]) == 0
+    assert "future_thing" in capsys.readouterr().err
 
 
 def test_stats_prints_metrics_snapshot(tmp_path, capsys):
@@ -237,3 +259,144 @@ def test_traced_compare_replays_to_matching_eta(tmp_path, capsys):
     assert set(replayed) == set(in_process)
     for scheme, eta in in_process.items():
         assert replayed[scheme] == pytest.approx(eta, rel=1e-12)
+
+
+def _write_timeline_manifest(path):
+    """A real (small) manifest carrying timeline sections."""
+    from repro.cluster import SimulationConfig, simulate_reads
+    from repro.common import ClusterSpec, Gbps
+    from repro.obs import TimelineConfig, build_manifest, collect_timelines, write_manifest
+    from repro.policies import SPCachePolicy
+    from repro.workloads import paper_fileset, poisson_trace
+
+    cluster = ClusterSpec(n_servers=10, bandwidth=Gbps)
+    pop = paper_fileset(30, size_mb=20, zipf_exponent=1.1, total_rate=5)
+    policy = SPCachePolicy(pop, cluster, seed=5)
+    trace = poisson_trace(pop, n_requests=200, seed=11)
+    config = SimulationConfig(
+        discipline="ps", jitter="deterministic", seed=1,
+        timeline=TimelineConfig(),
+    )
+    with collect_timelines() as sections:
+        simulate_reads(trace, policy, cluster, config)
+    manifest = build_manifest(
+        "figT", [], wall_s=0.1, timelines=sections
+    )
+    write_manifest(manifest, path)
+    return sections
+
+
+def test_timeline_subcommand_renders_sparklines(tmp_path, capsys):
+    manifest = tmp_path / "figT.json"
+    _write_timeline_manifest(manifest)
+    assert main(["timeline", str(manifest)]) == 0
+    out = capsys.readouterr().out
+    assert "sp-cache" in out
+    assert "bytes/window" in out and "p99 latency (s)" in out
+    assert any(ch in out for ch in "▁▂▃▄▅▆▇█")
+
+
+def test_timeline_subcommand_json(tmp_path, capsys):
+    manifest = tmp_path / "figT.json"
+    sections = _write_timeline_manifest(manifest)
+    assert main(["timeline", str(manifest), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == len(sections) == 1
+    entry = payload[0]
+    assert entry["scheme"] == "sp-cache"
+    assert entry["n_requests"] == 200
+    assert [r["series"] for r in entry["series"]] == [
+        "bytes/window", "busy frac (max server)",
+        "queue depth (mean)", "p99 latency (s)",
+    ]
+
+
+def test_tail_subcommand_table_and_json(tmp_path, capsys):
+    manifest = tmp_path / "figT.json"
+    _write_timeline_manifest(manifest)
+    assert main(["tail", str(manifest)]) == 0
+    out = capsys.readouterr().out
+    assert "queueing" in out and "transfer" in out
+    assert "slowest" in out
+
+    assert main(["tail", str(manifest), "--json", "--top", "3"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    att = payload[0]["attribution"]
+    total = (
+        att["queueing_s"] + att["straggling_s"]
+        + att["transfer_s"] + att["join_s"]
+    )
+    assert total == pytest.approx(att["mean_tail_latency_s"], rel=1e-9)
+    assert len(payload[0]["exemplars"]) == 3
+
+
+def test_timeline_accepts_bare_section_list(tmp_path, capsys):
+    sections = _write_timeline_manifest(tmp_path / "unused.json")
+    bare = tmp_path / "sections.json"
+    bare.write_text(json.dumps(sections))
+    assert main(["timeline", str(bare)]) == 0
+    assert "sp-cache" in capsys.readouterr().out
+
+
+def test_timeline_bad_inputs_fail_cleanly(tmp_path, capsys):
+    assert main(["timeline", str(tmp_path / "missing.json")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+    not_json = tmp_path / "x.json"
+    not_json.write_text("{nope")
+    assert main(["timeline", str(not_json)]) == 2
+    assert "not JSON" in capsys.readouterr().err
+
+    foreign = tmp_path / "y.json"
+    foreign.write_text('{"wall_seconds": 1}')
+    assert main(["tail", str(foreign)]) == 2
+    assert "neither" in capsys.readouterr().err
+
+    v1 = tmp_path / "v1.json"
+    v1.write_text('{"timelines": []}')
+    assert main(["tail", str(v1)]) == 2
+    assert "no timeline sections" in capsys.readouterr().err
+
+
+def test_trace_sample_thins_read_pairs(tmp_path):
+    out = tmp_path / "sampled.jsonl"
+    assert main(
+        ["trace", "--schemes", "sp", "--out", str(out), "--sample", "10",
+         *FAST]
+    ) == 0
+    lines = [json.loads(l) for l in out.read_text().splitlines()]
+    reads = [r for r in lines if r["event"] == "read"]
+    dones = [r for r in lines if r["event"] == "read_done"]
+    assert len(reads) == 30  # 1-in-10 of 300
+    # Both halves of every sampled pair survive.
+    assert sorted(r["req"] for r in reads) == sorted(r["req"] for r in dones)
+    assert all(r["req"] % 10 == 0 for r in reads)
+    # Lifecycle events are never sampled out.
+    assert any(r["event"] == "simulation_end" for r in lines)
+
+
+def test_simulate_sample_matches_unsampled_run(tmp_path, capsys):
+    full, thin = tmp_path / "full.jsonl", tmp_path / "thin.jsonl"
+    main(["simulate", "--trace", str(full), *FAST])
+    main(["simulate", "--trace", str(thin), "--sample", "5", *FAST])
+    capsys.readouterr()
+    full_reads = [
+        json.loads(l) for l in full.read_text().splitlines()
+        if '"read"' in l
+    ]
+    thin_reads = [
+        json.loads(l) for l in thin.read_text().splitlines()
+        if '"read"' in l
+    ]
+    assert len(thin_reads) == 60  # 300 / 5
+    kept = {r["req"]: r for r in full_reads if r["req"] % 5 == 0}
+    assert {r["req"] for r in thin_reads} == set(kept)
+
+
+def test_sample_rejects_bad_values():
+    with pytest.raises(SystemExit):
+        main(["trace", "--schemes", "sp", "--out", "/tmp/x", "--sample", "0",
+              *FAST])
+    with pytest.raises(SystemExit):
+        main(["trace", "--schemes", "sp", "--out", "/tmp/x",
+              "--sample", "two", *FAST])

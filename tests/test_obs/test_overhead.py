@@ -48,3 +48,19 @@ def test_noop_sink_overhead_under_10_percent():
         f"no-op tracing overhead {100 * (ratio - 1):.1f}% exceeds the 10% "
         f"budget (reference {t_ref:.4f}s, instrumented {t_noop:.4f}s)"
     )
+
+
+def test_enabled_timeline_overhead_under_budget():
+    """Timelines *on* at the default window width must stay well inside
+    the 25% enabled-path budget on the fig13-like PS workload (the bench
+    records ~1.02x; the bound is generous to absorb CI noise)."""
+    bench = _load_bench()
+    for attempt in range(2):
+        rows = bench.run_timeline_overhead(n_requests=2000, repeats=3)
+        ratio = rows[-1]["vs_off"]
+        if ratio < 1.25:
+            break
+    assert ratio < 1.25, (
+        f"enabled timeline overhead {100 * (ratio - 1):.1f}% exceeds the "
+        f"25% budget"
+    )

@@ -143,3 +143,54 @@ def test_trailing_idle_servers_survive_replay(small_population):
     (load,) = per_server_loads(sink).values()
     assert load.size == 37
     np.testing.assert_allclose(load, result.server_bytes)
+
+
+class TestReplayTolerance:
+    """Unknown kinds and malformed lines are skipped, never fatal."""
+
+    def test_iter_trace_skips_garbage_lines(self, tmp_path):
+        from repro.obs import iter_trace
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"event": "read", "ts": 0.0}\n'
+            "\n"
+            "{broken json\n"
+            '["a", "list"]\n'
+            '{"event": "read_done", "ts": 1.0}\n'
+        )
+        records = list(iter_trace(path))
+        assert [r["event"] for r in records] == ["read", "read_done"]
+
+    def test_unknown_events_counts_unrecognized_kinds(self):
+        from repro.obs import KNOWN_EVENTS, unknown_events
+
+        source = [
+            {"event": "read", "ts": 0.0},
+            {"event": "future_thing"},
+            {"event": "future_thing"},
+            {"ts": 3.0},  # no event name at all
+            {"event": "span", "name": "x"},
+        ]
+        assert unknown_events(source) == {"?": 1, "future_thing": 2}
+        assert "read" in KNOWN_EVENTS and "span" in KNOWN_EVENTS
+
+    def test_replay_ignores_unknown_and_partial_records(self, workload):
+        """Foreign records interleaved with a real trace change nothing."""
+        from repro.obs import unknown_events
+
+        trace, policies, cluster = workload
+        sink = RingBufferSink(capacity=100_000)
+        results = run_traced(trace, policies, cluster, sink, "fifo")
+        polluted = list(sink.records) + [
+            {"event": "future_thing", "ts": 0.5, "servers": [0]},
+            {"event": "read"},  # missing ts/servers/sizes
+            {"event": "read_done", "scheme": "sp-cache"},  # missing latency
+        ]
+        loads = per_server_loads(polluted)
+        for scheme, result in results.items():
+            np.testing.assert_allclose(loads[scheme], result.server_bytes)
+        lats = latency_samples(polluted)
+        for scheme, result in results.items():
+            assert lats[scheme].size == result.n_requests
+        assert unknown_events(polluted) == {"future_thing": 1}

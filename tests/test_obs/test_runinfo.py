@@ -77,18 +77,42 @@ def test_write_and_load_roundtrip(tmp_path):
 @pytest.mark.parametrize(
     "overrides",
     [
-        {"schema_version": 2},
+        {"schema_version": 99},
         {"wall_s": -1.0},
         {"rows": ["not a dict"]},
         {"spans": [{"name": "x"}]},  # missing wall_s
         {"spans": [{"name": "x", "wall_s": -0.1}]},
         {"config": "not a dict"},
         {"experiment": 7},
+        {"timelines": "not a list"},
+        {"timelines": [{"no": "scheme"}]},
     ],
 )
 def test_validate_rejects_bad_manifests(overrides):
     with pytest.raises(ValueError):
         validate_manifest(_manifest(**overrides))
+
+
+def test_v2_manifest_requires_timelines_key():
+    m = _manifest()
+    del m["timelines"]
+    with pytest.raises(ValueError, match="timelines"):
+        validate_manifest(m)
+
+
+def test_v1_manifest_without_timelines_still_loads():
+    """Old manifests written before the timelines key keep validating."""
+    m = _manifest()
+    m["schema_version"] = 1
+    del m["timelines"]
+    assert validate_manifest(m) is m
+
+
+def test_build_manifest_carries_timeline_sections():
+    section = {"scheme": "sp-cache", "engine": "ps", "n_windows": 3}
+    m = build_manifest("figZ", [], wall_s=0.0, timelines=[section])
+    assert m["timelines"] == [section]
+    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 2
 
 
 def test_validate_rejects_missing_key():

@@ -119,3 +119,65 @@ class TestSpansAndGlobals:
         ring = Tracer(RingBufferSink())
         assert set_tracer(ring) is before
         assert set_tracer(before) is ring
+
+
+class TestHeadSamplingSink:
+    def _records(self, n=20):
+        out = []
+        for req in range(n):
+            out.append({"event": "read", "req": req, "ts": float(req)})
+            out.append({"event": "read_done", "req": req, "latency": 0.1})
+        return out
+
+    def test_keeps_one_in_n_pairs(self):
+        from repro.obs import HeadSamplingSink
+
+        ring = RingBufferSink()
+        sink = HeadSamplingSink(ring, every=5)
+        for record in self._records(20):
+            sink.emit(record)
+        kept = list(ring.records)
+        assert [r["req"] for r in kept if r["event"] == "read"] == [0, 5, 10, 15]
+        # Both halves of each sampled pair survive together.
+        assert [r["req"] for r in kept if r["event"] == "read_done"] == [
+            0, 5, 10, 15,
+        ]
+        assert sink.n_sampled_out == 32
+
+    def test_non_request_events_always_pass(self):
+        from repro.obs import HeadSamplingSink
+
+        ring = RingBufferSink()
+        sink = HeadSamplingSink(ring, every=1000)
+        sink.emit({"event": "simulation_end", "scheme": "sp"})
+        sink.emit({"event": "span", "name": "x", "wall_s": 0.0})
+        sink.emit({"event": "read", "req": 7})  # sampled out
+        assert [r["event"] for r in ring.records] == ["simulation_end", "span"]
+
+    def test_every_one_forwards_everything(self):
+        from repro.obs import HeadSamplingSink
+
+        ring = RingBufferSink()
+        sink = HeadSamplingSink(ring, every=1)
+        for record in self._records(5):
+            sink.emit(record)
+        assert len(ring) == 10
+        assert sink.n_sampled_out == 0
+
+    def test_rejects_non_positive_every(self):
+        from repro.obs import HeadSamplingSink
+
+        with pytest.raises(ValueError):
+            HeadSamplingSink(RingBufferSink(), every=0)
+
+    def test_delegates_path_and_records_to_file_sink(self, tmp_path):
+        from repro.obs import HeadSamplingSink
+
+        path = tmp_path / "sampled.jsonl"
+        with HeadSamplingSink(FileSink(path), every=2) as sink:
+            for record in self._records(10):
+                sink.emit(record)
+            assert str(sink.path) == str(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == sink.n_records == 10  # 5 pairs of 2
+        assert all(r["req"] % 2 == 0 for r in lines)

@@ -90,3 +90,36 @@ def test_traced_run_replays_to_span_tree(tmp_path, capsys):
     xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
     assert len(xs) == len(nodes)
     assert all(e["dur"] >= 0 for e in xs)
+
+
+def test_timeline_experiment_manifest_carries_sections(tmp_path, capsys):
+    """fig12 is in the timeline set: its manifest must carry schema-valid
+    sections, one per scheme simulated, and flag it in the config."""
+    chrome = tmp_path / "run.trace.json"
+    assert main(["--only", "fig12", "--scale", "0.1", "--out", str(tmp_path),
+                 "--chrome-trace", str(chrome)]) == 0
+    manifest = load_manifest(tmp_path / "fig12.json")
+    assert validate_manifest(manifest) is manifest
+    assert manifest["config"]["timelines"] is True
+    sections = manifest["timelines"]
+    assert sections
+    for section in sections:
+        assert section["scheme"]
+        assert section["n_windows"] >= 0
+        assert "attribution" in section["tail"]
+
+    # The Chrome trace of the same pass embeds the counter events.
+    doc = json.loads(chrome.read_text())
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert counters
+    assert {e["name"].rsplit(" ", 1)[-1] for e in counters} == {
+        "bytes", "busy", "queue",
+    }
+
+
+def test_non_timeline_experiment_manifest_has_empty_sections(tmp_path, capsys):
+    assert main(["--only", "fig10", "--scale", "0.1",
+                 "--out", str(tmp_path)]) == 0
+    manifest = load_manifest(tmp_path / "fig10.json")
+    assert manifest["timelines"] == []
+    assert manifest["config"]["timelines"] is False
