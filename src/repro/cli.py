@@ -27,7 +27,12 @@ Subcommands
 ``experiments``
     Regenerate evaluation tables and ``results/<exp>.json`` run
     manifests (thin wrapper over ``repro.experiments.run_all``; also
-    forwards ``--trace`` / ``--chrome-trace``).
+    forwards ``--trace`` / ``--chrome-trace``).  The experiment set is
+    the declarative registry (``repro.experiments.registry``):
+    ``--list`` prints it, ``--only`` accepts comma-separated names and
+    glob patterns (``--only 'fig1*'``), and ``--jobs N`` fans the pass
+    out over a process pool (parallel manifests diff clean against a
+    serial pass modulo wall-clock spans).
 ``report``
     Aggregate run manifests into a markdown summary; ``--diff BASE``
     compares against a baseline manifest set and exits non-zero on
@@ -595,9 +600,15 @@ def _cmd_experiments(args) -> int:
     from repro.experiments.run_all import main as run_all_main
 
     forwarded = []
+    if args.list:
+        forwarded.append("--list")
     if args.only:
         forwarded += ["--only", args.only]
-    forwarded += ["--scale", str(args.scale), "--out", args.out]
+    forwarded += [
+        "--scale", str(args.scale),
+        "--out", args.out,
+        "--jobs", str(args.jobs),
+    ]
     if args.trace:
         forwarded += ["--trace", args.trace]
     if args.chrome_trace:
@@ -776,7 +787,18 @@ def main(argv: list[str] | None = None) -> int:
     p_tail.set_defaults(func=_cmd_tail)
 
     p_exp = sub.add_parser("experiments", help="regenerate evaluation tables")
-    p_exp.add_argument("--only", default=None)
+    p_exp.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma-separated experiment names and/or glob patterns",
+    )
+    p_exp.add_argument(
+        "--list", action="store_true",
+        help="print the experiment registry as a table and exit",
+    )
+    p_exp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N experiments in parallel worker processes",
+    )
     p_exp.add_argument("--scale", type=float, default=1.0)
     p_exp.add_argument("--out", default="results")
     p_exp.add_argument(

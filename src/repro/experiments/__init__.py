@@ -1,10 +1,16 @@
 """Experiment runners: one module per table/figure of the evaluation.
 
-Every runner returns a list of row dicts (ready for
-:func:`repro.analysis.tables.print_table`) and takes a ``scale`` knob that
-shrinks request counts for quick runs.  The benchmarks in ``benchmarks/``
-wrap these runners; ``python -m repro.experiments.run_all`` regenerates
-everything into ``results/``.
+Every runner registers itself in the declarative registry
+(:mod:`repro.experiments.registry`) via the ``@experiment`` decorator,
+declaring its paper-expectation table, whether it takes the ``scale``
+knob, its timing/timeline flags, and its sweep parameters.  The runner
+returns a list of row dicts (ready for
+:func:`repro.analysis.tables.print_table`).  The benchmarks in
+``benchmarks/`` wrap these runners; ``python -m repro.experiments.run_all``
+(optionally ``--jobs N`` for a parallel pass) regenerates everything into
+``results/``, and shared workload builds are memoized by
+:mod:`repro.experiments.workload_cache` so one pass constructs each
+population/trace exactly once.
 """
 
 from repro.experiments.config import (
@@ -12,5 +18,25 @@ from repro.experiments.config import (
     ExperimentDefaults,
     sim_config,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    SweepParam,
+    UnknownExperimentError,
+    all_specs,
+    experiment,
+    load_all,
+    resolve_names,
+)
 
-__all__ = ["EC2_CLUSTER", "ExperimentDefaults", "sim_config"]
+__all__ = [
+    "EC2_CLUSTER",
+    "ExperimentDefaults",
+    "ExperimentSpec",
+    "SweepParam",
+    "UnknownExperimentError",
+    "all_specs",
+    "experiment",
+    "load_all",
+    "resolve_names",
+    "sim_config",
+]

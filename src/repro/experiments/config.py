@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.cluster import SimulationConfig, StragglerInjector
 from repro.common import GB, ClusterSpec, Gbps
 
-__all__ = ["EC2_CLUSTER", "ExperimentDefaults", "sim_config"]
+__all__ = ["EC2_CLUSTER", "ExperimentDefaults", "defaults_dict", "sim_config"]
 
 #: The paper's EC2 deployment: 30 r3.2xlarge cache servers, 1 Gbps.
 EC2_CLUSTER = ClusterSpec(n_servers=30, bandwidth=Gbps, capacity=10 * GB)
@@ -37,6 +37,16 @@ class ExperimentDefaults:
 
 
 DEFAULTS = ExperimentDefaults()
+
+
+def defaults_dict() -> dict[str, int]:
+    """The shared defaults as a JSON-ready dict (run-manifest ``config``)."""
+    return {
+        "n_requests": DEFAULTS.n_requests,
+        "seed_trace": DEFAULTS.seed_trace,
+        "seed_policy": DEFAULTS.seed_policy,
+        "seed_sim": DEFAULTS.seed_sim,
+    }
 
 
 def sim_config(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.common import MB
 from repro.workloads.yahoo import YahooTraceModel, access_count_buckets
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig01"]
 
@@ -19,6 +20,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig01(n_files: int = 100_000, seed: int = 0) -> list[dict]:
     """Sample a synthetic trace and reproduce the Fig. 1 aggregation."""
     model = YahooTraceModel()

@@ -17,6 +17,7 @@ from repro.common import MB, ClusterSpec
 from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
 from repro.policies import SingleCopyPolicy
 from repro.workloads import paper_fileset, poisson_trace
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig02"]
 
@@ -36,6 +37,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig02(scale: float = 1.0) -> list[dict]:
     rows = []
     disk_cluster = ClusterSpec(

@@ -12,6 +12,7 @@ from repro.cluster import simulate_reads
 from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
 from repro.policies import SelectiveReplicationPolicy
 from repro.workloads import paper_fileset, poisson_trace
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig03"]
 
@@ -21,6 +22,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig03(scale: float = 1.0, rate: float = 6.0) -> list[dict]:
     pop = paper_fileset(50, size_mb=40, zipf_exponent=1.1, total_rate=rate)
     trace = poisson_trace(

@@ -23,6 +23,7 @@ import numpy as np
 from repro.common import GB, MB
 from repro.ec.codec import RSFileCodec
 from repro.experiments.config import EC2_CLUSTER
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig04"]
 
@@ -37,6 +38,7 @@ FIXED_READ_LATENCY = 0.02
 PAPER = {"overhead_at_100mb": ">= 0.15", "simulation_setting": 0.20}
 
 
+@experiment(paper=PAPER)
 def run_fig04(
     sizes_mb: tuple[float, ...] = (1, 5, 10, 40, 100),
     trials: int = 2,

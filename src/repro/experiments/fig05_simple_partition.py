@@ -16,6 +16,7 @@ from repro.cluster import StragglerInjector, simulate_reads
 from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
 from repro.policies import SimplePartitionPolicy
 from repro.workloads import paper_fileset, poisson_trace
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig05"]
 
@@ -26,6 +27,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig05(
     scale: float = 1.0, ks: tuple[int, ...] = (1, 3, 9, 15, 21, 27)
 ) -> list[dict]:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.cluster.network import GoodputModel
 from repro.common import MB, Mbps, Gbps
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig06"]
 
@@ -23,6 +24,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig06(ks: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100)) -> list[dict]:
     model = GoodputModel()
     rows = []

@@ -24,6 +24,7 @@ from repro.core.placement import place_partitions_random
 from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
 from repro.policies import SPCachePolicy
 from repro.workloads import paper_fileset, poisson_trace
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig08"]
 
@@ -33,6 +34,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig08(
     scale: float = 1.0,
     alphas_mb: tuple[float, ...] = (0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0),

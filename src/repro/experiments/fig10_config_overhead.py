@@ -18,12 +18,14 @@ import numpy as np
 from repro.core import optimal_scale_factor
 from repro.experiments.config import EC2_CLUSTER
 from repro.workloads import paper_fileset
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig10"]
 
 PAPER = {"10k_files": "< 90 s (CVXPY)", "growth": "linear in file count"}
 
 
+@experiment(paper=PAPER, timing_rows=True)
 def run_fig10(
     file_counts: tuple[int, ...] = (1000, 2000, 4000, 7000, 10000),
     trials: int = 3,

@@ -21,12 +21,14 @@ from repro.core import optimal_scale_factor, partition_counts
 from repro.core.partitioner import partition_sizes
 from repro.experiments.config import EC2_CLUSTER
 from repro.workloads import BingStragglerProfile, paper_fileset
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig11"]
 
 PAPER = {"split_fraction": 0.30, "unsplit_tail": "bottom 70% untouched"}
 
 
+@experiment(paper=PAPER)
 def run_fig11(n_files: int = 100, rate: float = 8.0) -> list[dict]:
     pop = paper_fileset(
         n_files, size_mb=100, zipf_exponent=1.05, total_rate=rate

@@ -16,12 +16,14 @@ from repro.experiments.skew_resilience import (
     load_distribution_rows,
     sec73_population,
 )
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig12"]
 
 PAPER = {"eta": {"sp-cache": 0.18, "ec-cache": 0.44, "selective-replication": 1.18}}
 
 
+@experiment(paper=PAPER, timeline=True)
 def run_fig12(scale: float = 1.0, rate: float = 18.0) -> list[dict]:
     pop = sec73_population(rate)
     stats = compare_schemes(pop, EC2_CLUSTER, default_schemes(), scale=scale)

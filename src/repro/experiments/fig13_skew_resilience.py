@@ -16,6 +16,7 @@ from repro.experiments.skew_resilience import (
     improvement_pct,
     sec73_population,
 )
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig13"]
 
@@ -27,6 +28,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER, timeline=True)
 def run_fig13(
     scale: float = 1.0,
     rates: tuple[float, ...] = (6, 10, 14, 18, 22),

@@ -17,6 +17,7 @@ from repro.experiments.skew_resilience import (
     sec73_population,
 )
 from repro.policies import FixedChunkingPolicy, SPCachePolicy
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig14"]
 
@@ -26,6 +27,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig14(
     scale: float = 1.0, rates: tuple[float, ...] = (6, 10, 14, 18, 22)
 ) -> list[dict]:

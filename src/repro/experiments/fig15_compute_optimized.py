@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.config import C4_CLUSTER
 from repro.experiments.fig13_skew_resilience import run_fig13
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig15"]
 
@@ -22,6 +23,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig15(
     scale: float = 1.0, rates: tuple[float, ...] = (6, 10, 14, 18, 22)
 ) -> list[dict]:

@@ -32,6 +32,7 @@ from repro.experiments.config import EC2_CLUSTER
 from repro.obs.timeline import get_timeline_config
 from repro.policies import SPCachePolicy
 from repro.workloads import paper_fileset, shuffled_popularity
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig16"]
 
@@ -79,6 +80,7 @@ def _emit_recovery_timelines(n_files: int = 200, seed: int = 0) -> None:
         simulate_reads(trace, policy, EC2_CLUSTER, config)
 
 
+@experiment(paper=PAPER, timeline=True)
 def run_fig16(
     file_counts: tuple[int, ...] = (100, 150, 200, 250, 300, 350),
     trials: int = 5,

@@ -18,6 +18,7 @@ from repro.experiments.skew_resilience import (
     improvement_pct,
     sec73_population,
 )
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig19"]
 
@@ -29,6 +30,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER, timeline=True)
 def run_fig19(
     scale: float = 1.0, rates: tuple[float, ...] = (6, 10, 14, 18, 22)
 ) -> list[dict]:

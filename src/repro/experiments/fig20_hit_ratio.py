@@ -14,12 +14,14 @@ from repro.cluster import simulate_reads
 from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
 from repro.experiments.skew_resilience import default_schemes, sec73_population
 from repro.workloads import poisson_trace
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig20"]
 
 PAPER = {"ordering": "sp-cache > ec-cache > selective-replication"}
 
 
+@experiment(paper=PAPER)
 def run_fig20(
     scale: float = 1.0,
     budget_fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2),

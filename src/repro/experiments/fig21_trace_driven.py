@@ -16,6 +16,8 @@ from repro.analysis.stats import cdf_points
 from repro.cluster import StragglerInjector, simulate_reads
 from repro.experiments.config import DEFAULTS, EC2_CLUSTER, sim_config
 from repro.experiments.skew_resilience import default_schemes
+from repro.experiments.registry import experiment
+from repro.experiments.workload_cache import cached_build
 from repro.workloads import GoogleArrivalModel, trace_from_times, yahoo_file_population
 
 __all__ = ["run_fig21"]
@@ -23,6 +25,7 @@ __all__ = ["run_fig21"]
 PAPER = {"mean_s": {"sp-cache": 3.8, "ec-cache": 6.0, "selective-replication": 44.1}}
 
 
+@experiment(paper=PAPER)
 def run_fig21(
     scale: float = 1.0,
     n_files: int = 3000,
@@ -35,14 +38,25 @@ def run_fig21(
     # needs mean utilisation well below that.  Rate 3 (~0.4 mean
     # utilisation, >1 during bursts) is the loaded-but-recoverable regime
     # the paper's numbers (3.8 s vs 6.0 s vs 44.1 s) imply.
-    pop = yahoo_file_population(
-        n_files, total_rate=rate, zipf_exponent=1.1, seed=3
+    pop = cached_build(
+        "yahoo_population",
+        (int(n_files), float(rate), 1.1, 3),
+        lambda: yahoo_file_population(
+            n_files, total_rate=rate, zipf_exponent=1.1, seed=3
+        ),
     )
     n_requests = DEFAULTS.requests(scale)
-    times = GoogleArrivalModel().arrival_times(
-        rate, horizon=n_requests / rate, seed=DEFAULTS.seed_trace
+    trace = cached_build(
+        "google_trace",
+        (int(n_files), float(rate), n_requests, DEFAULTS.seed_trace),
+        lambda: trace_from_times(
+            GoogleArrivalModel().arrival_times(
+                rate, horizon=n_requests / rate, seed=DEFAULTS.seed_trace
+            ),
+            pop,
+            seed=DEFAULTS.seed_trace,
+        ),
     )
-    trace = trace_from_times(times, pop, seed=DEFAULTS.seed_trace)
     # Budget calibration: the paper's 300 GB cluster cache was *scarce* for
     # its (unpublished) dataset; we throttle to 80 % of the raw bytes so
     # redundancy actually costs residency: SP-Cache (1.0x footprint) barely

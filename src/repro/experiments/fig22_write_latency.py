@@ -26,6 +26,7 @@ from repro.policies import (
     SPCachePolicy,
 )
 from repro.workloads import zipf_popularity
+from repro.experiments.registry import experiment
 
 __all__ = ["run_fig22"]
 
@@ -36,6 +37,7 @@ PAPER = {
 }
 
 
+@experiment(paper=PAPER)
 def run_fig22(
     sizes_mb: tuple[float, ...] = (20, 50, 100, 200, 400),
 ) -> list[dict]:

@@ -1,5 +1,14 @@
 """Regenerate every table and figure: ``python -m repro.experiments.run_all``.
 
+The set of experiments is *data*: every ``fig*`` module registers an
+:class:`~repro.experiments.registry.ExperimentSpec` (runner, paper
+expectations, scale/timing/timeline flags, sweep parameters) and this
+driver, the ``repro experiments`` CLI, the manifests, and the
+EXPERIMENTS.md registry table all read from that one registry — there is
+no hand-maintained experiment list here.  ``--list`` prints the registry;
+``--only`` takes comma-separated names and glob patterns
+(``--only 'fig1*,theorem1'``).
+
 Each experiment runs inside one shared telemetry wrapper
 (:func:`run_experiment`): a root span covers the runner (control-plane
 sections reached inside — the scale-factor search, repartition planning,
@@ -8,21 +17,30 @@ isolates the run's counters, and the outcome lands three ways:
 
 * the human-readable table on stdout and in ``results/<exp>.txt``;
 * a schema-versioned run manifest in ``results/<exp>.json`` (git sha,
-  seed, ``--scale``, config hash, structured rows, per-span wall times,
-  metrics snapshot — see :mod:`repro.obs.runinfo`), aggregatable and
-  diffable with ``python -m repro report``;
+  seed, ``--scale``, config hash, the registered spec metadata,
+  structured rows, per-span wall times, metrics snapshot — see
+  :mod:`repro.obs.runinfo`), aggregatable and diffable with
+  ``python -m repro report``;
 * optionally a JSONL event trace (``--trace``) and a Chrome/Perfetto
   timeline of every span in the pass (``--chrome-trace``), loadable at
   https://ui.perfetto.dev.
 
-The load-balance/tail figures (fig12, fig13, fig16, fig19) additionally
-run with sim-time timelines enabled (:mod:`repro.obs.timeline`); the
-recorded sections land in their manifests' ``timelines`` list — render
-with ``python -m repro timeline`` / ``repro tail`` — and
-``--chrome-trace`` gains per-scheme counter tracks.
+Experiments whose spec sets ``timeline`` (fig12, fig13, fig16, fig19)
+additionally run with sim-time timelines enabled
+(:mod:`repro.obs.timeline`); the recorded sections land in their
+manifests' ``timelines`` list — render with ``python -m repro timeline``
+/ ``repro tail`` — and ``--chrome-trace`` gains per-scheme counter
+tracks.
 
-``--scale 0.25`` shrinks the simulated request counts for a quick pass;
-``--only fig13`` runs a single experiment.
+``--jobs N`` fans the pass out over a process pool: the per-experiment
+metrics registry and span collector already isolate every run, so a
+parallel pass produces the same manifests as a serial one modulo
+wall-clock spans and workload-cache hit/miss splits (each worker warms a
+private cache) — ``repro report --diff`` between the two passes is clean
+by construction.  Session-wide tracing (``--trace`` /
+``--chrome-trace``) spans processes poorly, so it requires ``--jobs 1``.
+
+``--scale 0.25`` shrinks the simulated request counts for a quick pass.
 """
 
 from __future__ import annotations
@@ -30,6 +48,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.analysis.tables import format_table
 from repro.obs.metrics import MetricsRegistry, set_registry
@@ -48,117 +67,65 @@ from repro.obs.timeline import (
 )
 from repro.obs.tracing import FileSink, Tracer, use_tracer
 
-from repro.experiments.config import DEFAULTS
-from repro.experiments.fig01_trace_stats import run_fig01
-from repro.experiments.fig02_caching_benefit import run_fig02
-from repro.experiments.fig03_replication import run_fig03
-from repro.experiments.fig04_decoding import run_fig04
-from repro.experiments.fig05_simple_partition import run_fig05
-from repro.experiments.fig06_goodput import run_fig06
-from repro.experiments.fig08_upper_bound import run_fig08
-from repro.experiments.fig10_config_overhead import run_fig10
-from repro.experiments.fig11_partition_sizes import run_fig11
-from repro.experiments.fig12_load_distribution import run_fig12
-from repro.experiments.fig13_skew_resilience import run_fig13
-from repro.experiments.fig14_fixed_chunking import run_fig14
-from repro.experiments.fig15_compute_optimized import run_fig15
-from repro.experiments.fig16_repartition import run_fig16
-from repro.experiments.fig19_stragglers import run_fig19
-from repro.experiments.fig20_hit_ratio import run_fig20
-from repro.experiments.fig21_trace_driven import run_fig21
-from repro.experiments.fig22_write_latency import run_fig22
-from repro.experiments.theorem1 import run_theorem1
+from repro.experiments.config import DEFAULTS, defaults_dict
+from repro.experiments.registry import (
+    UnknownExperimentError,
+    get_spec,
+    registry_table_rows,
+    resolve_names,
+)
 
-__all__ = ["EXPERIMENTS", "main", "run_experiment"]
-
-#: Experiments whose table rows are *measured wall-clock* values rather
-#: than deterministic simulated quantities.  Their manifests carry
-#: ``config.timing_rows = True`` so ``repro report --diff`` compares the
-#: rows with the tolerant wall-time rule instead of exact equality.
-_TIMING_ROWS = frozenset({"fig10"})
-
-#: Experiments that record sim-time timelines into their manifests: the
-#: load-balance and tail-latency figures (fig12/fig13), recovery after a
-#: popularity shift (fig16), and straggler mitigation (fig19).  Their
-#: manifests carry the published timeline sections and ``repro timeline``
-#: / ``repro tail`` render them.
-_TIMELINE_EXPERIMENTS = frozenset({"fig12", "fig13", "fig16", "fig19"})
-
-#: name -> (runner, accepts_scale)
-EXPERIMENTS = {
-    "fig01": (run_fig01, False),
-    "fig02": (run_fig02, True),
-    "fig03": (run_fig03, True),
-    "fig04": (run_fig04, False),
-    "fig05": (run_fig05, True),
-    "fig06": (run_fig06, False),
-    "fig08": (run_fig08, True),
-    "fig10": (run_fig10, True),
-    "fig11": (run_fig11, False),
-    "fig12": (run_fig12, True),
-    "fig13": (run_fig13, True),
-    "fig14": (run_fig14, True),
-    "fig15": (run_fig15, True),
-    "fig16": (run_fig16, False),
-    "fig19": (run_fig19, True),
-    "fig20": (run_fig20, True),
-    "fig21": (run_fig21, True),
-    "fig22": (run_fig22, False),
-    "theorem1": (run_theorem1, False),
-}
+__all__ = ["main", "run_experiment"]
 
 
 def run_experiment(
-    name: str, scale: float = 1.0
+    name: str, scale: float = 1.0, **params
 ) -> tuple[list[dict], dict]:
-    """Run one experiment under the shared telemetry wrapper.
+    """Run one registered experiment under the shared telemetry wrapper.
 
     Returns ``(rows, manifest)``.  The runner executes inside a root
     ``experiment`` span and against a private metrics registry, so the
     manifest's span forest and metrics snapshot describe exactly this
-    run; the process-wide registry is restored afterwards.  Span *events*
-    still flow to whatever tracer is installed, so a traced pass captures
-    the full hierarchy in its JSONL stream too.
+    run.  Teardown is exception-safe: the process-wide registry (and the
+    span/timeline contexts, which unwind with the ``with`` blocks) is
+    restored even when the runner raises.  Span *events* still flow to
+    whatever tracer is installed, so a traced pass captures the full
+    hierarchy in its JSONL stream too.  ``params`` override the spec's
+    sweep parameters (``run_experiment("fig12", rate=22.0)``).
     """
-    runner, scalable = EXPERIMENTS[name]
+    spec = get_spec(name)
     collector = SpanCollector()
     registry = MetricsRegistry()
     timelines: list[dict] = []
-    record_timelines = name in _TIMELINE_EXPERIMENTS
     previous = set_registry(registry)
     try:
         with collect_spans(collector):
-            with span("experiment", experiment=name):
-                if record_timelines:
+            with span("experiment", experiment=spec.name):
+                if spec.timeline:
                     with collect_timelines(timelines):
                         with use_timeline(TimelineConfig()):
-                            rows = (
-                                runner(scale=scale) if scalable else runner()
-                            )
+                            rows = spec.run(scale=scale, **params)
                 else:
-                    rows = runner(scale=scale) if scalable else runner()
+                    rows = spec.run(scale=scale, **params)
     finally:
         set_registry(previous)
     roots = [r for r in collector.roots() if r.name == "experiment"]
     wall_s = roots[0].wall_s if roots else 0.0
     config = {
-        "experiment": name,
-        "scale": scale if scalable else None,
-        "accepts_scale": scalable,
-        "timing_rows": name in _TIMING_ROWS,
-        "timelines": record_timelines,
-        "defaults": {
-            "n_requests": DEFAULTS.n_requests,
-            "seed_trace": DEFAULTS.seed_trace,
-            "seed_policy": DEFAULTS.seed_policy,
-            "seed_sim": DEFAULTS.seed_sim,
-        },
+        "experiment": spec.name,
+        "scale": scale if spec.accepts_scale else None,
+        "accepts_scale": spec.accepts_scale,
+        "timing_rows": spec.timing_rows,
+        "timelines": spec.timeline,
+        "params": {k: repr(v) for k, v in sorted(params.items())},
+        "spec": spec.describe(),
+        "defaults": defaults_dict(),
     }
     manifest = build_manifest(
-        name,
+        spec.name,
         rows,
         wall_s=wall_s,
-        scale=scale if scalable else None,
+        scale=scale if spec.accepts_scale else None,
         seed=DEFAULTS.seed_sim,
         config=config,
         spans=collector.records,
@@ -168,7 +135,19 @@ def run_experiment(
     return rows, manifest
 
 
-def _run_and_write(
+def _write_result(
+    name: str, rows: list[dict], manifest: dict, outdir: pathlib.Path
+) -> None:
+    text = format_table(
+        rows, title=f"== {name} ({manifest['wall_s']:.1f}s) =="
+    )
+    print(text)
+    print()
+    (outdir / f"{name}.txt").write_text(text + "\n")
+    write_manifest(manifest, outdir / f"{name}.json")
+
+
+def _run_serial(
     names: list[str],
     scale: float,
     outdir: pathlib.Path,
@@ -181,19 +160,60 @@ def _run_and_write(
     with collect_spans(session_spans), collect_timelines(session_timelines):
         for name in names:
             rows, manifest = run_experiment(name, scale=scale)
-            text = format_table(
-                rows, title=f"== {name} ({manifest['wall_s']:.1f}s) =="
+            _write_result(name, rows, manifest, outdir)
+
+
+def _pool_run(name: str, scale: float) -> tuple[str, list[dict], dict]:
+    """Process-pool worker: one experiment, full telemetry wrapper."""
+    from repro.experiments.registry import load_all
+
+    load_all()  # spawn-start workers import this module fresh
+    rows, manifest = run_experiment(name, scale=scale)
+    return name, rows, manifest
+
+
+def _run_parallel(
+    names: list[str], scale: float, outdir: pathlib.Path, jobs: int
+) -> None:
+    """Fan the pass out over a process pool; emit in registry order.
+
+    Tables print and manifests land in the same deterministic order as a
+    serial pass, whatever order the workers finish in.
+    """
+    results: dict[str, tuple[list[dict], dict]] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        futures = {
+            pool.submit(_pool_run, name, scale): name for name in names
+        }
+        for future in as_completed(futures):
+            name, rows, manifest = future.result()
+            results[name] = (rows, manifest)
+            print(
+                f"done: {name} ({manifest['wall_s']:.1f}s)", file=sys.stderr
             )
-            print(text)
-            print()
-            (outdir / f"{name}.txt").write_text(text + "\n")
-            write_manifest(manifest, outdir / f"{name}.json")
+    for name in names:
+        rows, manifest = results[name]
+        _write_result(name, rows, manifest, outdir)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument("--only", type=str, default=None)
+    parser.add_argument(
+        "--only", type=str, default=None, metavar="NAMES",
+        help=(
+            "comma-separated experiment names and/or glob patterns "
+            "(e.g. 'fig12,fig13' or 'fig1*')"
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the experiment registry as a table and exit",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N experiments in parallel worker processes",
+    )
     parser.add_argument("--out", type=str, default="results")
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -205,13 +225,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.list:
+        print(format_table(registry_table_rows(), title="experiment registry"))
+        return 0
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs > 1 and (args.trace or args.chrome_trace):
+        print(
+            "--trace/--chrome-trace record a single-process session; "
+            "use --jobs 1 with them",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        names = resolve_names(args.only)
+    except UnknownExperimentError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
     outdir = pathlib.Path(args.out)
     outdir.mkdir(parents=True, exist_ok=True)
-    names = [args.only] if args.only else list(EXPERIMENTS)
-    for name in names:
-        if name not in EXPERIMENTS:
-            print(f"unknown experiment {name!r}", file=sys.stderr)
-            return 2
+
+    if args.jobs > 1:
+        _run_parallel(names, args.scale, outdir, args.jobs)
+        return 0
 
     session_spans = SpanCollector()
     session_timelines: list[dict] = []
@@ -219,7 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         sink = FileSink(args.trace)
         try:
             with use_tracer(Tracer(sink)):
-                _run_and_write(
+                _run_serial(
                     names, args.scale, outdir, session_spans,
                     session_timelines,
                 )
@@ -229,7 +268,7 @@ def main(argv: list[str] | None = None) -> int:
             f"trace: {sink.n_records} events -> {sink.path}", file=sys.stderr
         )
     else:
-        _run_and_write(
+        _run_serial(
             names, args.scale, outdir, session_spans, session_timelines
         )
 

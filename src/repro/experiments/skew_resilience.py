@@ -14,6 +14,10 @@ import numpy as np
 from repro.cluster import StragglerInjector, imbalance_factor, simulate_reads
 from repro.common import ClusterSpec, FilePopulation
 from repro.experiments.config import DEFAULTS, sim_config
+from repro.experiments.workload_cache import (
+    cached_build,
+    population_fingerprint,
+)
 from repro.policies import (
     CachePolicy,
     ECCachePolicy,
@@ -33,9 +37,17 @@ PolicyFactory = Callable[[FilePopulation, ClusterSpec], CachePolicy]
 
 
 def sec73_population(rate: float, n_files: int = 500) -> FilePopulation:
-    """The Sec. 7.3 workload: 500 x 100 MB files, Zipf(1.05)."""
-    return paper_fileset(
-        n_files, size_mb=100, zipf_exponent=1.05, total_rate=rate
+    """The Sec. 7.3 workload: 500 x 100 MB files, Zipf(1.05).
+
+    Memoized per ``(rate, n_files)`` — figs. 12-15 and 19 all draw from
+    this population, so a full pass builds each rate point once.
+    """
+    return cached_build(
+        "sec73_population",
+        (float(rate), int(n_files)),
+        lambda: paper_fileset(
+            n_files, size_mb=100, zipf_exponent=1.05, total_rate=rate
+        ),
     )
 
 
@@ -69,10 +81,13 @@ def compare_schemes(
     scale: float = 1.0,
 ) -> dict[str, dict]:
     """Run every scheme on one trace; returns per-scheme stat dicts."""
-    trace = poisson_trace(
-        population,
-        n_requests=DEFAULTS.requests(scale),
-        seed=DEFAULTS.seed_trace,
+    n_requests = DEFAULTS.requests(scale)
+    trace = cached_build(
+        "poisson_trace",
+        (population_fingerprint(population), n_requests, DEFAULTS.seed_trace),
+        lambda: poisson_trace(
+            population, n_requests=n_requests, seed=DEFAULTS.seed_trace
+        ),
     )
     out: dict[str, dict] = {}
     for name, factory in schemes.items():

@@ -18,12 +18,14 @@ from repro.core.theory import (
     variance_ratio_limit,
 )
 from repro.workloads import paper_fileset
+from repro.experiments.registry import experiment
 
 __all__ = ["run_theorem1"]
 
 PAPER = {"claim": "Var(EC)/Var(SP) -> (alpha/k) * sum L^2 / sum L = O(L_max)"}
 
 
+@experiment(paper=PAPER)
 def run_theorem1(
     n_files: int = 200,
     n_servers: int = 200,

@@ -24,6 +24,9 @@ Regression rules
   ``metric_tolerance`` in either direction — experiment rows are seeded
   and deterministic, so identical configs must produce identical
   numbers.  Non-finite values compare by "both non-finite or regressed".
+* **scheduling bookkeeping** (``workload_cache.*`` hit/miss counters) is
+  excluded from the diff: cache warmth depends on execution order, so a
+  ``run_all --jobs N`` pass stays diff-clean against a serial pass.
 * a baseline experiment missing from the new set is always a regression.
 """
 
@@ -143,6 +146,13 @@ def _numeric_leaves(obj: Any, prefix: str = "") -> dict[str, float]:
 #: Leaf keys matching this are wall-clock timers, not exact metrics.
 _TIMING_KEY = re.compile(r"\.seconds|wall|time_s\b|duration", re.IGNORECASE)
 
+#: Leaf keys excluded from the diff entirely: scheduling-dependent
+#: bookkeeping, not results.  Workload-cache hit/miss splits depend on
+#: execution order (a serial pass warms the cache for later experiments;
+#: each ``--jobs N`` worker starts cold), so comparing them would make
+#: parallel and serial passes spuriously "regress" against each other.
+_SCHEDULING_KEY = re.compile(r"\bworkload_cache\.")
+
 
 def _rel_change(base: float, new: float) -> float:
     if not (math.isfinite(base) and math.isfinite(new)):
@@ -227,6 +237,8 @@ def diff_manifests(
             base_vals = _numeric_leaves(b[section], section)
             new_vals = _numeric_leaves(n[section], section)
             for key, base_v in base_vals.items():
+                if _SCHEDULING_KEY.search(key):
+                    continue
                 if key not in new_vals:
                     regressions.append(
                         {

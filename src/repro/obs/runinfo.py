@@ -18,7 +18,14 @@ Schema (version 2) — one flat JSON object:
 ``git_sha``          ``git rev-parse HEAD`` or ``None`` outside a checkout
 ``scale``            the ``--scale`` the run used (``None`` if not applicable)
 ``seed``             the run's base seed (``None`` if not applicable)
-``config``           free-form dict of run configuration
+``config``           free-form dict of run configuration.  ``run_all``
+                     populates it from the declarative experiment
+                     registry: ``config.spec`` carries the registered
+                     :class:`~repro.experiments.registry.ExperimentSpec`
+                     metadata (description, paper-expectation table,
+                     timing/timeline flags, sweep parameters), and
+                     ``config.timing_rows`` / ``config.timelines``
+                     mirror the spec's flags for the diff rules
 ``config_hash``      sha256 of the canonical-JSON ``config``
 ``wall_s``           wall seconds of the whole experiment (its root span)
 ``rows``             the structured table rows (list of dicts)

@@ -14,7 +14,7 @@ from repro.experiments.fig10_config_overhead import run_fig10
 from repro.experiments.fig11_partition_sizes import run_fig11
 from repro.experiments.fig16_repartition import run_fig16
 from repro.experiments.fig22_write_latency import run_fig22
-from repro.experiments.run_all import EXPERIMENTS
+from repro.experiments.registry import load_all
 from repro.experiments.skew_resilience import (
     compare_schemes,
     default_schemes,
@@ -94,7 +94,8 @@ def test_registry_covers_every_experiment():
         "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
         "fig19", "fig20", "fig21", "fig22", "theorem1",
     }
-    assert set(EXPERIMENTS) == expected
-    for runner, scalable in EXPERIMENTS.values():
-        assert callable(runner)
-        assert isinstance(scalable, bool)
+    specs = load_all()
+    assert set(specs) == expected
+    for spec in specs.values():
+        assert callable(spec.runner)
+        assert isinstance(spec.accepts_scale, bool)

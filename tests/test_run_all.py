@@ -3,9 +3,21 @@
 from __future__ import annotations
 
 import json
+import math
 
+import pytest
+
+from repro.experiments import registry as experiment_registry
+from repro.experiments.registry import experiment
 from repro.experiments.run_all import main, run_experiment
-from repro.obs import load_events, load_manifest, span_tree, validate_manifest
+from repro.obs import (
+    get_registry,
+    load_events,
+    load_manifest,
+    span_tree,
+    validate_manifest,
+)
+from repro.obs.report import diff_manifests
 
 
 def test_single_cheap_experiment(tmp_path, capsys):
@@ -20,7 +32,79 @@ def test_single_cheap_experiment(tmp_path, capsys):
 def test_unknown_experiment_errors(tmp_path, capsys):
     code = main(["--only", "fig99", "--out", str(tmp_path)])
     assert code == 2
-    assert "unknown experiment" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "fig01" in err and "theorem1" in err  # fail-fast lists valid names
+
+
+def test_only_accepts_comma_lists_and_globs(tmp_path, capsys):
+    code = main(["--only", "fig06,fig0[34]", "--scale", "0.05",
+                 "--out", str(tmp_path)])
+    assert code == 0
+    for name in ("fig03", "fig04", "fig06"):
+        assert (tmp_path / f"{name}.json").exists()
+    assert not (tmp_path / "fig05.json").exists()
+
+
+def test_list_prints_registry_table(tmp_path, capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "experiment registry" in out
+    assert "fig13" in out and "theorem1" in out
+    assert "sweep_params" in out and "timeline" in out
+
+
+def test_jobs_rejects_tracing_and_bad_counts(tmp_path, capsys):
+    assert main(["--jobs", "0", "--out", str(tmp_path)]) == 2
+    assert main(["--jobs", "2", "--trace", str(tmp_path / "t.jsonl"),
+                 "--out", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "--jobs" in err
+
+
+def test_parallel_pass_matches_serial_modulo_wall(tmp_path, capsys):
+    """Acceptance: a --jobs pass produces the same rows and diff-clean
+    manifests (wall-clock spans excepted) as a serial pass."""
+    serial, parallel = tmp_path / "serial", tmp_path / "parallel"
+    assert main(["--only", "fig03,fig06", "--scale", "0.05",
+                 "--out", str(serial)]) == 0
+    assert main(["--only", "fig03,fig06", "--scale", "0.05", "--jobs", "2",
+                 "--out", str(parallel)]) == 0
+    base, new = {}, {}
+    for name in ("fig03", "fig06"):
+        base[name] = load_manifest(serial / f"{name}.json")
+        new[name] = load_manifest(parallel / f"{name}.json")
+        assert new[name]["rows"] == base[name]["rows"]
+        assert new[name]["config_hash"] == base[name]["config_hash"]
+    assert diff_manifests(base, new, wall_tolerance=math.inf) == []
+
+
+def test_run_experiment_restores_registry_when_runner_raises():
+    """Regression (teardown in try/finally): a raising runner must not
+    leak the private metrics registry into the process."""
+
+    @experiment(paper={"claim": "boom"}, name="zz_failing")
+    def run_zz_failing(scale: float = 1.0) -> list[dict]:
+        """Deliberately failing spec."""
+        raise RuntimeError("runner exploded")
+
+    before = get_registry()
+    try:
+        with pytest.raises(RuntimeError, match="runner exploded"):
+            run_experiment("zz_failing", scale=0.5)
+        assert get_registry() is before
+        # The wrapper is reusable afterwards: telemetry contexts unwound.
+        rows, manifest = run_experiment("fig06")
+        assert manifest["experiment"] == "fig06" and rows
+        assert get_registry() is before
+    finally:
+        experiment_registry._REGISTRY.pop("zz_failing", None)
+
+
+def test_run_experiment_forwards_sweep_params():
+    rows, manifest = run_experiment("fig06", ks=(1, 2))
+    assert [r["partitions"] for r in rows] == [1, 2]
+    assert manifest["config"]["params"] == {"ks": "(1, 2)"}
 
 
 def test_scale_flag_reaches_runner(tmp_path, capsys):
