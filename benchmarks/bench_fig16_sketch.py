@@ -1,0 +1,23 @@
+"""Fig. 16 rerun — Algorithm 2 fed by sketched (not oracle) popularity.
+
+Acceptance gates from the observability issue: top-K precision >= 0.9
+against the true hottest files, online Zipf-alpha within 10 % of the
+ground-truth fit, at least one drift alert across the popularity shift,
+and a sketch-driven plan whose imbalance factor lands within a few
+percent of the oracle-driven one.
+"""
+
+from conftest import bench_scale, run_experiment
+
+from repro.experiments.fig16_sketch import run_fig16_sketch
+
+
+def test_fig16_sketch_driven_repartition(benchmark, report):
+    rows = run_experiment(benchmark, run_fig16_sketch, scale=bench_scale())
+    report(rows, "Fig. 16 (sketch-driven) — estimate fidelity and plans")
+    r = rows[0]
+    assert r["topk_precision"] >= 0.9
+    assert r["alpha_rel_err"] <= 0.10
+    assert r["drift_alerts"] >= 1
+    assert r["eta_sketch"] < r["eta_stale"]
+    assert r["eta_gap"] < 0.1 * r["eta_stale"]

@@ -80,6 +80,8 @@ from repro.obs import (
     load_timeline,
     metrics_snapshots,
     per_server_loads,
+    popularity_from_trace,
+    sparkline,
     tail_attribution_rows,
     timeline_series_rows,
     trace_summary,
@@ -90,6 +92,7 @@ from repro.obs.report import (
     METRIC_TOLERANCE,
     MIN_WALL_S,
     WALL_TOLERANCE,
+    SchemaMismatchError,
     diff_manifests,
     render_diff,
     render_report,
@@ -596,6 +599,162 @@ def _cmd_tail(args) -> int:
     return 0
 
 
+def _load_popularity(path: str, *, quiet: bool = False) -> list[dict] | None:
+    """Popularity sections from a manifest, section JSON, or JSONL trace.
+
+    Accepts a schema-v3 run manifest (its ``popularity`` list), a bare
+    JSON list of sections, a single section object, or a JSONL event
+    trace (``read`` events are replayed through a fresh monitor, one
+    section per scheme).  Reports failure to stderr and returns ``None``.
+    """
+
+    def _fail(message: str) -> None:
+        if not quiet:
+            print(message, file=sys.stderr)
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        _fail(f"no such file: {path}")
+        return None
+    except json.JSONDecodeError:
+        doc = None  # multi-line JSONL trace, or garbage — replay decides
+    if isinstance(doc, dict) and "popularity" in doc:
+        sections = doc["popularity"]
+    elif isinstance(doc, dict) and "scheme" in doc and "event" not in doc:
+        sections = [doc]
+    elif isinstance(doc, list):
+        sections = doc
+    else:
+        # Either unparsable as one JSON document (JSONL) or a single
+        # trace event line: replay the trace's read events.
+        try:
+            sections = popularity_from_trace(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            _fail(
+                f"{path} holds neither a run manifest, popularity "
+                "sections, nor a readable JSONL trace"
+            )
+            return None
+    sections = [s for s in sections if isinstance(s, dict) and "scheme" in s]
+    if not sections:
+        _fail(
+            f"no popularity sections in {path} (older manifest schema, "
+            "or a trace without read events?)"
+        )
+        return None
+    return sections
+
+
+def _render_popularity(section: dict, i: int, k: int) -> None:
+    """Print one section: header, top-K table, drift spark, alerts."""
+    alpha = section.get("alpha_est")
+    imbalance = section.get("imbalance") or {}
+    cv = imbalance.get("ewma_cv")
+    max_mean = imbalance.get("ewma_max_mean")
+    alerts = section.get("alerts") or []
+    title = (
+        f"{section['scheme']} [{section.get('engine', '?')}] #{i}: "
+        f"{section.get('requests', 0)} requests, "
+        f"{section.get('n_windows', 0)} windows"
+    )
+    if alpha is not None:
+        title += f", alpha~{alpha:.3f}"
+    top_rows = [
+        {
+            "rank": rank + 1,
+            "file": entry["file_id"],
+            "est_count": entry["count"],
+            "err_bound": entry["error"],
+            "share_pct": 100.0 * entry["share"],
+        }
+        for rank, entry in enumerate(section.get("top", [])[:k])
+    ]
+    if top_rows:
+        print(format_table(top_rows, title=title))
+    else:
+        print(f"{title}: no observations")
+        return
+    lines = []
+    if cv is not None:
+        lines.append(
+            f"imbalance (EWMA): cv {cv:.3f}, max/mean {max_mean:.3f}"
+        )
+    drift = [
+        w["l1_drift"]
+        for w in section.get("windows", [])
+        if w.get("l1_drift") is not None
+    ]
+    if drift:
+        lines.append(
+            f"drift (weighted L1 per window): {sparkline(drift)} "
+            f"max {max(drift):.3f}"
+        )
+    n_drift = sum(1 for a in alerts if a.get("kind") == "drift")
+    n_hot = sum(1 for a in alerts if a.get("kind") == "hotspot")
+    lines.append(f"alerts: {n_drift} drift, {n_hot} hotspot")
+    for line in lines:
+        print(line)
+    alert_rows = [
+        {
+            "kind": a.get("kind", "?"),
+            "window": a.get("window", "-"),
+            "t_start": a.get("t_start", "-"),
+            "detail": (
+                f"file {a['file_id']} share {a['share']:.2f}"
+                if a.get("kind") == "hotspot"
+                else f"l1 {a.get('l1', 0):.2f}"
+                + (
+                    f" churn {a['rank_churn']:.2f}"
+                    if a.get("rank_churn") is not None
+                    else ""
+                )
+            ),
+            "threshold": a.get("threshold", "-"),
+        }
+        for a in alerts[-8:]
+    ]
+    if alert_rows:
+        print()
+        print(format_table(alert_rows, title="active alerts (last 8)"))
+
+
+def _cmd_top(args) -> int:
+    """Render top-K hot files, skew, imbalance, and alerts."""
+    sections = _load_popularity(args.source)
+    if sections is None:
+        return 2
+    if args.json:
+        print(json.dumps(sections, indent=2, default=str))
+        return 0
+    for i, section in enumerate(sections):
+        _render_popularity(section, i, args.k)
+        print()
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    """Re-render ``repro top`` every ``--interval`` seconds."""
+    import time as _time
+
+    frame = 0
+    while True:
+        sections = _load_popularity(args.source, quiet=True)
+        if sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        if sections is None:
+            print(f"waiting for popularity data in {args.source} ...")
+        else:
+            for i, section in enumerate(sections):
+                _render_popularity(section, i, args.k)
+                print()
+        frame += 1
+        if args.frames and frame >= args.frames:
+            return 0 if sections is not None else 2
+        _time.sleep(args.interval)
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.run_all import main as run_all_main
 
@@ -660,13 +819,17 @@ def _cmd_report(args) -> int:
     if not base:
         print(f"no baseline manifests under {args.diff}", file=sys.stderr)
         return 2
-    regressions = diff_manifests(
-        base,
-        manifests,
-        wall_tolerance=args.wall_tolerance,
-        metric_tolerance=args.metric_tolerance,
-        min_wall_s=args.min_wall_s,
-    )
+    try:
+        regressions = diff_manifests(
+            base,
+            manifests,
+            wall_tolerance=args.wall_tolerance,
+            metric_tolerance=args.metric_tolerance,
+            min_wall_s=args.min_wall_s,
+        )
+    except SchemaMismatchError as exc:
+        print(f"schema mismatch: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(regressions, indent=2, default=str))
     else:
@@ -785,6 +948,45 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="machine-parseable JSON output"
     )
     p_tail.set_defaults(func=_cmd_tail)
+
+    p_top = sub.add_parser(
+        "top",
+        help="hot files, estimated skew, imbalance, and alerts",
+    )
+    p_top.add_argument(
+        "source",
+        help="run manifest JSON, popularity section(s), or JSONL trace",
+    )
+    p_top.add_argument(
+        "--k", type=int, default=10, help="hot files to show (default 10)"
+    )
+    p_top.add_argument(
+        "--json", action="store_true", help="emit raw sections as JSON"
+    )
+    p_top.set_defaults(func=_cmd_top)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="re-render `repro top` periodically (live view of a trace)",
+    )
+    p_watch.add_argument(
+        "source",
+        help="run manifest JSON, popularity section(s), or JSONL trace",
+    )
+    p_watch.add_argument("--k", type=int, default=10)
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between renders (default 2)",
+    )
+    p_watch.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        help="stop after N renders (default 0 = forever)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_exp = sub.add_parser("experiments", help="regenerate evaluation tables")
     p_exp.add_argument(

@@ -39,6 +39,11 @@ class FifoDiscipline:
         emit = lc.emit
         observe = lc.observe
         collector = lc.collector
+        track = lc.track
+        if track:
+            # Window loads come from snapshot-diffing this vector, so
+            # observe_popularity costs nothing per request for loads.
+            lc.popularity.attach_cumulative_loads(server_bytes)
         times = lc.trace.times
         file_ids = lc.trace.file_ids
 
@@ -46,6 +51,8 @@ class FifoDiscipline:
             t = times[j]
             fid = int(file_ids[j])
             op = lc.plan(fid)
+            if track:
+                lc.observe_popularity(t, fid, op)
             servers = op.server_ids
             bw = bandwidths[servers]
 

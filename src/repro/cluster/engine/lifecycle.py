@@ -34,6 +34,12 @@ from repro.cluster.stragglers import StragglerInjector
 from repro.common import ClusterSpec, make_rng
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
+from repro.obs.popularity import (
+    PopularityConfig,
+    PopularityMonitor,
+    get_popularity_config,
+    publish_popularity,
+)
 from repro.obs.timeline import (
     TimelineCollector,
     TimelineConfig,
@@ -147,7 +153,9 @@ class SimulationConfig:
     ``timeline`` enables sim-time timeline collection
     (:mod:`repro.obs.timeline`) for this run; ``None`` falls back to the
     ambient :func:`repro.obs.timeline.get_timeline_config`, itself a
-    no-op unless installed.
+    no-op unless installed.  ``popularity`` likewise enables streaming
+    popularity/skew observation (:mod:`repro.obs.popularity`), falling
+    back to :func:`repro.obs.popularity.get_popularity_config`.
     """
 
     discipline: object = "ps"  # str spec or ServerDiscipline instance
@@ -160,6 +168,7 @@ class SimulationConfig:
     warmup_fraction: float = 0.1
     tracer: Tracer | None = None
     timeline: TimelineConfig | None = None
+    popularity: PopularityConfig | None = None
 
     def __post_init__(self) -> None:
         from repro.cluster.engine.registry import resolve_discipline
@@ -183,6 +192,13 @@ class SimulationConfig:
                 f"timeline must be a TimelineConfig or None, "
                 f"got {type(self.timeline).__name__}"
             )
+        if self.popularity is not None and not isinstance(
+            self.popularity, PopularityConfig
+        ):
+            raise TypeError(
+                f"popularity must be a PopularityConfig or None, "
+                f"got {type(self.popularity).__name__}"
+            )
 
 
 @dataclass
@@ -203,6 +219,10 @@ class SimulationResult:
     #: Finalized sim-time timeline section (``None`` unless the run had
     #: timeline collection enabled) — see :mod:`repro.obs.timeline`.
     timeline: dict | None = None
+    #: Finalized streaming-popularity section (``None`` unless the run
+    #: had popularity observation enabled) — see
+    #: :mod:`repro.obs.popularity`.
+    popularity: dict | None = None
 
     @property
     def n_requests(self) -> int:
@@ -313,6 +333,24 @@ class RequestLifecycle:
         )
         #: Hoisted timeline check — disabled collection must stay free.
         self.observe = self.collector is not None
+        popularity_config = (
+            config.popularity
+            if config.popularity is not None
+            else get_popularity_config()
+        )
+        self.popularity: PopularityMonitor | None = (
+            PopularityMonitor(
+                popularity_config,
+                n_servers=cluster.n_servers,
+                scheme=self.scheme,
+                engine=engine,
+                tracer=self.tracer,
+            )
+            if popularity_config is not None
+            else None
+        )
+        #: Hoisted popularity check — disabled observation must stay free.
+        self.track = self.popularity is not None
         # Memoize goodput factors: parallelism is a small integer and
         # bandwidth comes from a short array, so this avoids one
         # interpolation per (fan-out, server-speed) pair.
@@ -323,6 +361,27 @@ class RequestLifecycle:
     def plan(self, file_id: int) -> ReadOp:
         """Ask the policy for this request's fork-join."""
         return self.planner.plan_read(file_id, self.rng)
+
+    def observe_popularity(self, t: float, file_id: int, op: ReadOp) -> None:
+        """Feed one planned request to the popularity monitor.
+
+        Guard call sites with ``if lifecycle.track:`` so disabled
+        observation stays free.  This appends straight into the
+        monitor's window buffers (the engine hot loop runs it per
+        request; :meth:`PopularityMonitor.observe` is the same fold for
+        external callers) — only the rare window boundary does real work.
+        """
+        mon = self.popularity
+        if mon._time_mode:
+            mon.observe(file_id, t=t, servers=op.server_ids, sizes=op.sizes)
+            return
+        if mon._t_first is None:
+            mon._t_first = t
+        mon._t_last = t
+        pend = mon._pend
+        pend.append(file_id)
+        if len(pend) >= mon._win_requests:
+            mon._roll()
 
     def goodput_factor(self, parallelism: int, bandwidth: float) -> float:
         """Memoized per-connection goodput multiplier (1.0 when disabled)."""
@@ -458,6 +517,10 @@ class RequestLifecycle:
             publish_timeline(timeline)
             if self.emit:
                 self._emit_timeline_windows(timeline)
+        popularity = None
+        if self.popularity is not None:
+            popularity = self.popularity.finalize()
+            publish_popularity(popularity)
         return SimulationResult(
             latencies=latencies,
             arrival_times=self.trace.times.copy(),
@@ -468,6 +531,7 @@ class RequestLifecycle:
             config=self.config,
             metrics=metrics,
             timeline=timeline,
+            popularity=popularity,
         )
 
     def _emit_timeline_windows(self, timeline: dict) -> None:

@@ -63,8 +63,13 @@ def _run_heap(
     emit = lc.emit
     observe = lc.observe
     collector = lc.collector
+    track = lc.track
 
     server_bytes = np.zeros(lc.cluster.n_servers)
+    if track:
+        # Window loads come from snapshot-diffing this vector (accrued
+        # at flow completion in this engine).
+        lc.popularity.attach_cumulative_loads(server_bytes)
     latencies = np.full(n_requests, np.nan)
 
     # Request bookkeeping.
@@ -159,6 +164,10 @@ def _run_heap(
             j = ident
             fid0 = int(trace.file_ids[j])
             op = lc.plan(fid0)
+            if track:
+                # Arrivals pop in nondecreasing time, so sim-time window
+                # rollover inside the monitor stays monotone.
+                lc.observe_popularity(t, fid0, op)
             k = op.parallelism
             sizes = op.sizes.astype(np.float64).copy()
             gfactors: list[float] | None = [] if observe else None

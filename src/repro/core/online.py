@@ -70,6 +70,13 @@ class OnlineAdjuster:
         A file is adjusted when its per-partition load exceeds
         ``tolerance / alpha`` (split) or drops below
         ``1 / (tolerance * alpha)`` while ``k > 1`` (merge).
+    estimator:
+        Optional sketched popularity source — any object with an
+        ``estimated_popularities(n_files)`` method (e.g. a
+        :class:`repro.obs.popularity.PopularityMonitor`).  When set it
+        replaces the exact sliding-window counts, so the control loop
+        runs on bounded-memory estimates instead of oracle bookkeeping;
+        :meth:`observe` still fills the window as a fallback.
     """
 
     def __init__(
@@ -80,6 +87,7 @@ class OnlineAdjuster:
         initial_ks: np.ndarray,
         window: int = 2000,
         tolerance: float = 2.0,
+        estimator: object | None = None,
     ) -> None:
         if alpha <= 0:
             raise ValueError("alpha must be positive")
@@ -96,20 +104,44 @@ class OnlineAdjuster:
         self.window = window
         self.tolerance = tolerance
         self._recent: deque[int] = deque(maxlen=window)
+        if estimator is not None and not callable(
+            getattr(estimator, "estimated_popularities", None)
+        ):
+            raise TypeError(
+                "estimator must expose estimated_popularities(n_files)"
+            )
+        self.estimator = estimator
+        self._feed_estimator = callable(getattr(estimator, "observe", None))
         self.total_moved_bytes = 0.0
         self.ops_applied = 0
 
     def observe(self, file_id: int) -> None:
         """Record one read (the SP-Master already sees every request)."""
         self._recent.append(int(file_id))
+        if self._feed_estimator:
+            self.estimator.observe(file_id)
 
     def observe_many(self, file_ids: np.ndarray) -> None:
         for fid in np.asarray(file_ids).ravel():
             self._recent.append(int(fid))
 
     def estimated_popularities(self) -> np.ndarray:
-        """Window-based popularity estimate (uniform until data arrives)."""
+        """Popularity estimate driving the next round.
+
+        The attached sketched ``estimator`` when present, else the exact
+        sliding-window counts (uniform until data arrives).
+        """
         n = self.population.n_files
+        if self.estimator is not None:
+            est = np.asarray(
+                self.estimator.estimated_popularities(n), dtype=np.float64
+            )
+            if est.shape != (n,):
+                raise ValueError(
+                    f"estimator returned shape {est.shape}, expected ({n},)"
+                )
+            total = est.sum()
+            return est / total if total > 0 else np.full(n, 1.0 / n)
         if not self._recent:
             return np.full(n, 1.0 / n)
         counts = np.bincount(np.fromiter(self._recent, dtype=np.int64), minlength=n)

@@ -52,6 +52,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.analysis.tables import format_table
 from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.popularity import collect_popularity
 from repro.obs.runinfo import build_manifest, write_manifest
 from repro.obs.spans import (
     SpanCollector,
@@ -97,16 +98,21 @@ def run_experiment(
     collector = SpanCollector()
     registry = MetricsRegistry()
     timelines: list[dict] = []
+    popularity: list[dict] = []
     previous = set_registry(registry)
     try:
         with collect_spans(collector):
-            with span("experiment", experiment=spec.name):
-                if spec.timeline:
-                    with collect_timelines(timelines):
-                        with use_timeline(TimelineConfig()):
-                            rows = spec.run(scale=scale, **params)
-                else:
-                    rows = spec.run(scale=scale, **params)
+            # Popularity sections are collected unconditionally: runs
+            # only publish them when a config opts in, so the sink is
+            # free for every other experiment.
+            with collect_popularity(popularity):
+                with span("experiment", experiment=spec.name):
+                    if spec.timeline:
+                        with collect_timelines(timelines):
+                            with use_timeline(TimelineConfig()):
+                                rows = spec.run(scale=scale, **params)
+                    else:
+                        rows = spec.run(scale=scale, **params)
     finally:
         set_registry(previous)
     roots = [r for r in collector.roots() if r.name == "experiment"]
@@ -131,6 +137,7 @@ def run_experiment(
         spans=collector.records,
         metrics=registry.snapshot(),
         timelines=timelines,
+        popularity=popularity,
     )
     return rows, manifest
 

@@ -24,10 +24,15 @@ Cooperating pieces (each documented in its module, schema tables in
     reservoir of slowest-request exemplars with per-partition breakdowns.
     Disabled by default; every discipline records through the shared
     :class:`~repro.cluster.engine.lifecycle.RequestLifecycle`.
+:mod:`repro.obs.popularity`
+    Streaming popularity/skew observation: Count-Min + Space-Saving
+    sketches fed from the request path, online Zipf-exponent and
+    imbalance estimates, and windowed drift/hot-spot alerts.  Disabled
+    by default; renders through ``repro top`` / ``repro watch``.
 :mod:`repro.obs.runinfo`
     Schema-versioned run manifests (``results/<exp>.json``): provenance,
     structured rows, per-span wall times, final metrics snapshot, and
-    any timeline sections the run published.
+    any timeline or popularity sections the run published.
 :mod:`repro.obs.report`
     Aggregate manifests into markdown and diff two manifest sets for
     wall-time/metric regressions (``python -m repro report``).
@@ -45,7 +50,19 @@ from repro.obs.metrics import (
     reset_registry,
     set_registry,
 )
-from repro.obs.profiling import profile, profiled
+from repro.obs.popularity import (
+    POPULARITY_SCHEMA_VERSION,
+    CountMinSketch,
+    PopularityConfig,
+    PopularityMonitor,
+    SpaceSavingTopK,
+    collect_popularity,
+    get_popularity_config,
+    popularity_from_trace,
+    publish_popularity,
+    use_popularity,
+    zipf_alpha_from_counts,
+)
 from repro.obs.replay import (
     KNOWN_EVENTS,
     event_counts,
@@ -80,6 +97,11 @@ from repro.obs.spans import (
     span_wrap,
     write_chrome_trace,
 )
+
+# Legacy aliases, re-exported for back compat without importing the
+# deprecated repro.obs.profiling shim (which warns on import).
+profiled = span
+profile = span_wrap
 from repro.obs.timeline import (
     TIMELINE_SCHEMA_VERSION,
     TimelineCollector,
@@ -105,6 +127,7 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CountMinSketch",
     "Counter",
     "FileSink",
     "Gauge",
@@ -114,8 +137,12 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "NullSink",
+    "POPULARITY_SCHEMA_VERSION",
+    "PopularityConfig",
+    "PopularityMonitor",
     "RingBufferSink",
     "SUPPORTED_SCHEMA_VERSIONS",
+    "SpaceSavingTopK",
     "SpanCollector",
     "SpanRecord",
     "TIMELINE_SCHEMA_VERSION",
@@ -125,12 +152,14 @@ __all__ = [
     "build_manifest",
     "chrome_counter_events",
     "chrome_trace",
+    "collect_popularity",
     "collect_spans",
     "collect_timelines",
     "config_hash",
     "current_span_id",
     "event_counts",
     "events",
+    "get_popularity_config",
     "get_registry",
     "get_timeline_config",
     "get_tracer",
@@ -143,8 +172,10 @@ __all__ = [
     "load_timeline",
     "metrics_snapshots",
     "per_server_loads",
+    "popularity_from_trace",
     "profile",
     "profiled",
+    "publish_popularity",
     "publish_timeline",
     "reset_registry",
     "set_registry",
@@ -157,8 +188,10 @@ __all__ = [
     "timeline_series_rows",
     "trace_summary",
     "unknown_events",
+    "use_popularity",
     "use_timeline",
     "use_tracer",
+    "zipf_alpha_from_counts",
     "validate_manifest",
     "write_chrome_trace",
     "write_manifest",

@@ -16,7 +16,13 @@ Conventions
 
 from __future__ import annotations
 
-__all__ = ["EVENT_LAYER", "SIMULATOR_EVENTS", "STORE_EVENTS", "CORE_EVENTS"]
+__all__ = [
+    "EVENT_LAYER",
+    "SIMULATOR_EVENTS",
+    "STORE_EVENTS",
+    "CORE_EVENTS",
+    "POPULARITY_EVENTS",
+]
 
 # -- simulator (repro.cluster) ------------------------------------------------
 READ = "read"  # one fork-join request: servers, sizes, queue wait
@@ -43,6 +49,11 @@ ADJUST_APPLY = "adjust_apply"  # ops committed: count, moved bytes
 REPARTITION_PLAN = "repartition_plan"  # Algorithm 2 planning outcome
 REPARTITION_TIME = "repartition_time"  # timing-model evaluation
 
+# -- popularity / skew (repro.obs.popularity) ---------------------------------
+POPULARITY_WINDOW = "popularity_window"  # one window: count, drift, imbalance
+DRIFT = "drift"  # popularity drift alert: weighted L1 / rank churn tripped
+HOTSPOT = "hotspot"  # single-file hot-spot alert: file_id, share
+
 # -- spans / profiling (repro.obs.spans) --------------------------------------
 SPAN = "span"  # hierarchical wall-clock span: name, span_id, parent, wall_s
 PROFILE = "profile"  # legacy flat wall-clock span: name, wall_s
@@ -67,11 +78,13 @@ CORE_EVENTS = (
     REPARTITION_PLAN,
     REPARTITION_TIME,
 )
+POPULARITY_EVENTS = (POPULARITY_WINDOW, DRIFT, HOTSPOT)
 
 EVENT_LAYER: dict[str, str] = {
     **{name: "simulator" for name in SIMULATOR_EVENTS},
     **{name: "store" for name in STORE_EVENTS},
     **{name: "core" for name in CORE_EVENTS},
+    **{name: "popularity" for name in POPULARITY_EVENTS},
     SPAN: "profiling",
     PROFILE: "profiling",
 }

@@ -17,14 +17,25 @@ Labels named after reserved record fields (``name``, ``ts``, ``wall_s``,
 (the bug the old implementation had: it forwarded ``**labels`` straight
 into ``tracer.event(..., name=..., wall_s=...)``).
 
-New code should import from :mod:`repro.obs.spans` directly.
+New code should import from :mod:`repro.obs.spans` directly; importing
+this module raises a :class:`DeprecationWarning` (visible under
+``python -W error::DeprecationWarning`` and in pytest runs).
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.spans import span, span_wrap
 
 __all__ = ["profiled", "profile"]
+
+warnings.warn(
+    "repro.obs.profiling is deprecated; import span/span_wrap from "
+    "repro.obs.spans instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 #: Context-manager form — alias of :func:`repro.obs.spans.span`.
 profiled = span

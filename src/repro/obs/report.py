@@ -28,6 +28,11 @@ Regression rules
   excluded from the diff: cache warmth depends on execution order, so a
   ``run_all --jobs N`` pass stays diff-clean against a serial pass.
 * a baseline experiment missing from the new set is always a regression.
+* manifests written by **different schema versions** do not diff:
+  later schemas add keys (``timelines`` in v2, ``popularity`` in v3)
+  whose absence in the older set would read as spurious regressions, so
+  :func:`diff_manifests` raises :class:`SchemaMismatchError` instead —
+  regenerate both sets with the same build.
 """
 
 from __future__ import annotations
@@ -37,10 +42,15 @@ import re
 from typing import Any
 
 __all__ = [
+    "SchemaMismatchError",
     "diff_manifests",
     "render_diff",
     "render_report",
 ]
+
+
+class SchemaMismatchError(ValueError):
+    """Two manifest sets cannot be diffed across schema versions."""
 
 #: Diff thresholds (overridable per call / via CLI flags).
 WALL_TOLERANCE = 0.5  # +50 % wall time
@@ -124,6 +134,30 @@ def render_report(manifests: dict[str, dict[str, Any]]) -> str:
             ]
             lines += ["", "Spans (total wall seconds by name):", ""]
             lines.append(_markdown_table(span_rows))
+        pop_rows = [
+            {
+                "scheme": s.get("scheme", "?"),
+                "requests": s.get("requests", 0),
+                "alpha_est": (
+                    s["alpha_est"] if s.get("alpha_est") is not None else "-"
+                ),
+                "top_file": (
+                    s["top"][0]["file_id"] if s.get("top") else "-"
+                ),
+                "drift": sum(
+                    1 for a in s.get("alerts", ()) if a.get("kind") == "drift"
+                ),
+                "hotspot": sum(
+                    1
+                    for a in s.get("alerts", ())
+                    if a.get("kind") == "hotspot"
+                ),
+            }
+            for s in m.get("popularity") or []
+        ]
+        if pop_rows:
+            lines += ["", "Popularity (streaming sketch):", ""]
+            lines.append(_markdown_table(pop_rows))
     return "\n".join(lines) + "\n"
 
 
@@ -177,10 +211,21 @@ def diff_manifests(
 
     Each record has ``experiment``, ``kind`` (``missing`` / ``wall`` /
     ``span_wall`` / ``metric``), ``key``, ``base``, ``new``, ``change``.
-    An empty list means the new run is clean.
+    An empty list means the new run is clean.  Raises
+    :class:`SchemaMismatchError` when any compared pair was written by
+    different manifest schema versions.
     """
     if wall_tolerance < 0 or metric_tolerance < 0 or min_wall_s < 0:
         raise ValueError("diff tolerances must be non-negative")
+    for name in sorted(set(base) & set(new)):
+        b_ver = base[name].get("schema_version")
+        n_ver = new[name].get("schema_version")
+        if b_ver != n_ver:
+            raise SchemaMismatchError(
+                f"cannot diff {name!r}: baseline manifest has schema "
+                f"version {b_ver}, new has {n_ver} — regenerate both "
+                "manifest sets with the same build before diffing"
+            )
     regressions: list[dict[str, Any]] = []
 
     def _wall_regressed(old_s: float, new_s: float) -> bool:

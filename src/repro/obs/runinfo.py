@@ -9,10 +9,10 @@ mechanically.  ``repro report`` (:mod:`repro.obs.report`) aggregates and
 diffs these files; CI uploads them as artifacts so the perf trajectory
 accumulates.
 
-Schema (version 2) — one flat JSON object:
+Schema (version 3) — one flat JSON object:
 
 ===================  ==========================================================
-``schema_version``   ``2``
+``schema_version``   ``3``
 ``experiment``       experiment name (``fig10``, ``theorem1``, ...)
 ``created_unix``     ``time.time()`` at manifest build
 ``git_sha``          ``git rev-parse HEAD`` or ``None`` outside a checkout
@@ -35,10 +35,15 @@ Schema (version 2) — one flat JSON object:
 ``timelines``        sim-time timeline sections published during the run
                      (:mod:`repro.obs.timeline`); empty list when the
                      experiment records none.  New in version 2.
+``popularity``       streaming popularity sections published during the
+                     run (:mod:`repro.obs.popularity`): sketched top-K,
+                     Zipf-exponent estimate, drift/hot-spot alerts.
+                     Empty list when the run observed none.  New in
+                     version 3.
 ===================  ==========================================================
 
-Version-1 manifests (no ``timelines`` key) still load; readers treat a
-missing ``timelines`` as an empty list.
+Older manifests still load: readers treat a missing ``timelines`` (v1)
+or ``popularity`` (v1/v2) as an empty list.
 
 :func:`validate_manifest` enforces this shape; :func:`load_manifest`
 validates on read so a corrupt or foreign JSON file fails loudly rather
@@ -66,10 +71,10 @@ __all__ = [
     "write_manifest",
 ]
 
-MANIFEST_SCHEMA_VERSION = 2
+MANIFEST_SCHEMA_VERSION = 3
 
 #: schema versions this build can read.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: required key -> accepted types (``None`` entries listed explicitly).
 _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
@@ -90,6 +95,7 @@ _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
 #: keys required only from a given schema version onward.
 _VERSIONED_FIELDS: dict[str, tuple[int, tuple[type, ...]]] = {
     "timelines": (2, (list,)),
+    "popularity": (3, (list,)),
 }
 
 
@@ -139,12 +145,14 @@ def build_manifest(
     spans: Iterable[Any] = (),
     metrics: dict[str, Any] | None = None,
     timelines: Iterable[dict[str, Any]] = (),
+    popularity: Iterable[dict[str, Any]] = (),
 ) -> dict[str, Any]:
     """Assemble and validate one current-schema manifest.
 
     ``spans`` accepts :class:`~repro.obs.spans.SpanRecord` objects or
     plain dicts; ``config`` is hashed with :func:`config_hash`;
-    ``timelines`` takes sections from :mod:`repro.obs.timeline`.
+    ``timelines`` takes sections from :mod:`repro.obs.timeline` and
+    ``popularity`` sections from :mod:`repro.obs.popularity`.
     """
     config = dict(config or {})
     manifest: dict[str, Any] = {
@@ -161,6 +169,7 @@ def build_manifest(
         "spans": _span_dicts(spans),
         "metrics": dict(metrics or {}),
         "timelines": [dict(t) for t in timelines],
+        "popularity": [dict(p) for p in popularity],
     }
     return validate_manifest(manifest)
 
@@ -216,6 +225,12 @@ def validate_manifest(manifest: Any) -> dict[str, Any]:
         if not isinstance(section, dict) or "scheme" not in section:
             raise ValueError(
                 f"manifest timeline {i} must be an object with a scheme"
+            )
+    for i, section in enumerate(manifest.get("popularity", ())):
+        if not isinstance(section, dict) or "scheme" not in section:
+            raise ValueError(
+                f"manifest popularity section {i} must be an object "
+                "with a scheme"
             )
     return manifest
 

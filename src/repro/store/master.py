@@ -11,11 +11,15 @@ random distinct servers (initial writes, Sec. 5.1) and greedy least-loaded
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.common import make_rng
 from repro.obs import events as ev
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.popularity import PopularityMonitor
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 
@@ -62,7 +66,12 @@ class FileMeta:
 class Master:
     """Metadata service for the byte-level store."""
 
-    def __init__(self, n_workers: int, seed: int | None = 0) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        seed: int | None = 0,
+        popularity: "PopularityMonitor | None" = None,
+    ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = n_workers
@@ -71,6 +80,13 @@ class Master:
         # Bytes of partitions placed per worker — the "load" Algorithm 2's
         # greedy placement balances.
         self.placed_bytes = np.zeros(n_workers)
+        # Optional streaming popularity monitor fed by record_access —
+        # the sketched twin of the exact access-count window.
+        self.popularity = popularity
+
+    def attach_popularity(self, monitor: "PopularityMonitor") -> None:
+        """Feed every subsequent read into ``monitor`` (sketched counts)."""
+        self.popularity = monitor
 
     def __contains__(self, file_id: int) -> bool:
         return file_id in self._files
@@ -194,6 +210,8 @@ class Master:
     def record_access(self, file_id: int) -> None:
         """Bump the access counter (done on every read, Sec. 6.1)."""
         self._files[file_id].access_count += 1
+        if self.popularity is not None:
+            self.popularity.observe(file_id)
 
     def reset_access_counts(self) -> None:
         """Start a new measurement window (after each repartition round)."""

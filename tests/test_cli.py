@@ -400,3 +400,156 @@ def test_sample_rejects_bad_values():
     with pytest.raises(SystemExit):
         main(["trace", "--schemes", "sp", "--out", "/tmp/x",
               "--sample", "two", *FAST])
+
+
+def test_trace_sample_exceeding_length_keeps_first_request(tmp_path):
+    """--sample N with N >= the trace length keeps exactly request 0."""
+    out = tmp_path / "sampled.jsonl"
+    assert main(
+        ["trace", "--schemes", "sp", "--out", str(out), "--sample", "1000",
+         *FAST]
+    ) == 0
+    lines = [json.loads(l) for l in out.read_text().splitlines()]
+    reads = [r for r in lines if r["event"] == "read"]
+    dones = [r for r in lines if r["event"] == "read_done"]
+    assert [r["req"] for r in reads] == [0]
+    assert [r["req"] for r in dones] == [0]
+    assert any(r["event"] == "simulation_end" for r in lines)
+
+
+def test_trace_sample_is_deterministic(tmp_path):
+    """Two identical sampled runs keep identical simulator events.
+
+    Control-plane events (``scale_iter`` etc.) carry wall-clock
+    timestamps, so the determinism contract covers the sim-time stream:
+    the same requests survive sampling with the same payloads.
+    """
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    args = ["trace", "--schemes", "sp,ec", "--sample", "7", "--seed", "3",
+            *FAST]
+    assert main([*args, "--out", str(a)]) == 0
+    assert main([*args, "--out", str(b)]) == 0
+
+    def sim_events(path):
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        return [
+            r for r in lines
+            if r["event"] in ("read", "read_done", "simulation_end")
+        ]
+
+    first, second = sim_events(a), sim_events(b)
+    assert first and first == second
+
+
+def _write_popularity_manifest(path):
+    """A real (small) manifest carrying one popularity section."""
+    from repro.cluster import SimulationConfig, simulate_reads
+    from repro.common import ClusterSpec, Gbps
+    from repro.obs import PopularityConfig, build_manifest, write_manifest
+    from repro.policies import SPCachePolicy
+    from repro.workloads import paper_fileset, poisson_trace
+
+    cluster = ClusterSpec(n_servers=10, bandwidth=Gbps)
+    pop = paper_fileset(30, size_mb=20, zipf_exponent=1.1, total_rate=5)
+    policy = SPCachePolicy(pop, cluster, seed=5)
+    trace = poisson_trace(pop, n_requests=200, seed=11)
+    config = SimulationConfig(
+        discipline="fifo", jitter="deterministic", seed=1,
+        popularity=PopularityConfig(window_requests=50, min_window_count=10),
+    )
+    result = simulate_reads(trace, policy, cluster, config)
+    manifest = build_manifest(
+        "figP", [], wall_s=0.1, popularity=[result.popularity]
+    )
+    write_manifest(manifest, path)
+    return result.popularity
+
+
+def test_top_renders_manifest_sections(tmp_path, capsys):
+    manifest = tmp_path / "figP.json"
+    _write_popularity_manifest(manifest)
+    assert main(["top", str(manifest)]) == 0
+    out = capsys.readouterr().out
+    assert "sp-cache [fifo]" in out
+    assert "200 requests" in out
+    assert "rank" in out and "est_count" in out
+    assert "imbalance (EWMA)" in out
+    assert "alerts:" in out
+
+
+def test_top_json_and_k(tmp_path, capsys):
+    manifest = tmp_path / "figP.json"
+    section = _write_popularity_manifest(manifest)
+    assert main(["top", str(manifest), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    assert payload[0]["scheme"] == section["scheme"] == "sp-cache"
+    assert payload[0]["requests"] == 200
+
+    assert main(["top", str(manifest), "--k", "3"]) == 0
+    table = capsys.readouterr().out
+    assert "| 3 " in table and "| 4 " not in table
+
+
+def test_top_replays_jsonl_trace(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main(
+        ["trace", "--schemes", "sp,single", "--out", str(trace), *FAST]
+    ) == 0
+    capsys.readouterr()
+    assert main(["top", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "sp-cache [trace]" in out and "single-copy [trace]" in out
+
+
+def test_top_bad_inputs_fail_cleanly(tmp_path, capsys):
+    assert main(["top", str(tmp_path / "missing.json")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+    # A JSON object with no popularity/scheme/read events replays to
+    # zero sections.
+    foreign = tmp_path / "foreign.json"
+    foreign.write_text('{"wall_seconds": 1}')
+    assert main(["top", str(foreign)]) == 2
+    assert "no popularity sections" in capsys.readouterr().err
+
+    # Corrupt lines are skipped by trace replay, leaving zero sections.
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{nope")
+    assert main(["top", str(garbage)]) == 2
+    assert "no popularity sections" in capsys.readouterr().err
+
+    v2 = tmp_path / "v2.json"
+    v2.write_text('{"popularity": []}')
+    assert main(["top", str(v2)]) == 2
+    assert "no popularity sections" in capsys.readouterr().err
+
+
+def test_watch_renders_one_frame_and_exits(tmp_path, capsys):
+    manifest = tmp_path / "figP.json"
+    _write_popularity_manifest(manifest)
+    assert main(
+        ["watch", str(manifest), "--frames", "1", "--interval", "0"]
+    ) == 0
+    assert "sp-cache [fifo]" in capsys.readouterr().out
+
+    assert main(
+        ["watch", str(tmp_path / "missing.json"), "--frames", "2",
+         "--interval", "0"]
+    ) == 2
+    assert "waiting for popularity data" in capsys.readouterr().out
+
+
+def test_report_diff_rejects_mismatched_schema_versions(tmp_path, capsys):
+    base, fresh = tmp_path / "base", tmp_path / "fresh"
+    _write_manifests(base)
+    _write_manifests(fresh)
+    manifest = json.loads((base / "fig06.json").read_text())
+    manifest["schema_version"] = 2
+    del manifest["popularity"]
+    (base / "fig06.json").write_text(json.dumps(manifest))
+    capsys.readouterr()
+    assert main(["report", str(fresh), "--diff", str(base)]) == 2
+    err = capsys.readouterr().err
+    assert "schema mismatch" in err
+    assert "regenerate both" in err

@@ -13,6 +13,7 @@ from repro.experiments.fig06_goodput import run_fig06
 from repro.experiments.fig10_config_overhead import run_fig10
 from repro.experiments.fig11_partition_sizes import run_fig11
 from repro.experiments.fig16_repartition import run_fig16
+from repro.experiments.fig16_sketch import run_fig16_sketch
 from repro.experiments.fig22_write_latency import run_fig22
 from repro.experiments.registry import load_all
 from repro.experiments.skew_resilience import (
@@ -65,6 +66,17 @@ def test_fig16_parallel_beats_sequential():
     assert rows[0]["speedup"] > 10
 
 
+def test_fig16_sketch_meets_acceptance_gates():
+    rows = run_fig16_sketch(scale=0.2, seed=1)
+    r = rows[0]
+    assert r["topk_precision"] >= 0.9
+    assert r["alpha_rel_err"] <= 0.10
+    assert r["drift_alerts"] >= 1
+    # The sketch-driven plan must recover most of the oracle's win.
+    assert r["eta_sketch"] < r["eta_stale"]
+    assert r["eta_gap"] < 0.1 * r["eta_stale"]
+
+
 def test_fig22_sp_fastest_writer():
     rows = run_fig22(sizes_mb=(50, 200))
     for r in rows[:-1]:
@@ -92,7 +104,7 @@ def test_registry_covers_every_experiment():
     expected = {
         "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig08",
         "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-        "fig19", "fig20", "fig21", "fig22", "theorem1",
+        "fig16_sketch", "fig19", "fig20", "fig21", "fig22", "theorem1",
     }
     specs = load_all()
     assert set(specs) == expected

@@ -14,15 +14,22 @@ from pathlib import Path
 
 from repro.cluster.simulation import SimulationConfig, simulate_reads
 
-BENCH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_obs_overhead.py"
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH = BENCH_DIR / "bench_obs_overhead.py"
+
+
+def _load_module(name):
+    spec = importlib.util.spec_from_file_location(
+        name, BENCH_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault(name, module)
+    spec.loader.exec_module(module)
+    return module
 
 
 def _load_bench():
-    spec = importlib.util.spec_from_file_location("bench_obs_overhead", BENCH)
-    module = importlib.util.module_from_spec(spec)
-    sys.modules.setdefault("bench_obs_overhead", module)
-    spec.loader.exec_module(module)
-    return module
+    return _load_module("bench_obs_overhead")
 
 
 def test_noop_sink_overhead_under_10_percent():
@@ -47,6 +54,30 @@ def test_noop_sink_overhead_under_10_percent():
     assert ratio < 1.10, (
         f"no-op tracing overhead {100 * (ratio - 1):.1f}% exceeds the 10% "
         f"budget (reference {t_ref:.4f}s, instrumented {t_noop:.4f}s)"
+    )
+
+
+def test_enabled_popularity_overhead_under_5_percent():
+    """Streaming popularity observation *on* (default 2048-request
+    windows) must stay under the 5% budget quoted in
+    ``docs/observability.md``: the hot path is one list append plus a
+    window-boundary check, and server loads come from snapshot-diffing
+    the engine's own byte vector (the bench records ~1.02x; retries
+    absorb scheduler noise on loaded CI boxes)."""
+    _load_bench()  # bench_popularity_overhead imports from it
+    bench = _load_module("bench_popularity_overhead")
+    # Scheduler noise only ever *inflates* the measured ratio, so the
+    # best of a few attempts is the honest estimate of the real overhead.
+    ratio = float("inf")
+    for attempt in range(4):
+        rows = bench.run_popularity_overhead(n_requests=5000, repeats=5)
+        ratio = min(ratio, rows[1]["vs_off"])
+        if ratio < 1.05:
+            break
+    assert ratio < 1.05, (
+        f"enabled popularity overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"the 5% budget (off {rows[0]['seconds']:.4f}s, "
+        f"on {rows[1]['seconds']:.4f}s)"
     )
 
 

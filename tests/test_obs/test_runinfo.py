@@ -86,6 +86,8 @@ def test_write_and_load_roundtrip(tmp_path):
         {"experiment": 7},
         {"timelines": "not a list"},
         {"timelines": [{"no": "scheme"}]},
+        {"popularity": "not a list"},
+        {"popularity": [{"no": "scheme"}]},
     ],
 )
 def test_validate_rejects_bad_manifests(overrides):
@@ -112,7 +114,22 @@ def test_build_manifest_carries_timeline_sections():
     section = {"scheme": "sp-cache", "engine": "ps", "n_windows": 3}
     m = build_manifest("figZ", [], wall_s=0.0, timelines=[section])
     assert m["timelines"] == [section]
-    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 2
+    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 3
+
+
+def test_build_manifest_carries_popularity_sections():
+    section = {"scheme": "sp-cache", "engine": "fifo", "requests": 100}
+    m = build_manifest("figZ", [], wall_s=0.0, popularity=[section])
+    assert m["popularity"] == [section]
+    assert validate_manifest(m) is m
+
+
+def test_v2_manifest_without_popularity_still_loads():
+    """Manifests written before the popularity key keep validating."""
+    m = _manifest()
+    m["schema_version"] = 2
+    del m["popularity"]
+    assert validate_manifest(m) is m
 
 
 def test_validate_rejects_missing_key():

@@ -186,8 +186,13 @@ def test_chrome_trace_from_replayed_events():
     assert x["args"]["k"] == 2
 
 
-def test_legacy_profiling_shim_is_span():
-    from repro.obs import profiling
+def test_legacy_profiling_shim_is_span_and_warns():
+    import importlib
+
+    with pytest.warns(DeprecationWarning, match="repro.obs.profiling"):
+        import repro.obs.profiling as profiling
+
+        profiling = importlib.reload(profiling)
 
     assert profiling.profiled is span
     assert profiling.profile is span_wrap
