@@ -1,0 +1,183 @@
+"""Engine throughput at scale: vectorized batches vs the scalar path.
+
+A fig13-style workload (the Sec. 7.3 500-file Zipf population under
+SP-Cache with natural per-read stragglers) pushed to ``--requests``
+arrivals through the batched fifo fast path, fed by a lazy
+:class:`~repro.workloads.streams.PoissonStream` so arrivals never
+materialize up front.  The scalar engine is calibrated on a capped
+prefix of the same workload (it would take minutes at full scale), and
+the bench reports requests/sec for both, the speedup, and peak RSS.
+
+Run directly::
+
+    python benchmarks/bench_engine_scale.py --requests 1000000
+
+Writes ``BENCH_<timestamp>_engine_scale.json`` in the working directory
+(same family as the ``BENCH_<ts>.json`` archives the pytest-benchmark
+conftest emits; ``wall_seconds`` keeps the shared shape).  With
+``--baseline PATH`` the run becomes a perf gate: it exits non-zero when
+measured vectorized requests/sec fall below ``(1 - tolerance)`` of the
+baseline's — the CI job pins ``benchmarks/baseline_engine_scale.json``
+(a deliberately conservative floor, so only real regressions trip it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.cluster.simulation import SimulationConfig, simulate_reads
+from repro.cluster.stragglers import StragglerInjector
+from repro.common import ClusterSpec, Gbps
+from repro.obs.runinfo import git_sha, peak_rss_bytes
+from repro.policies import SPCachePolicy
+from repro.workloads import PoissonStream, paper_fileset
+
+DEFAULT_REQUESTS = 1_000_000
+DEFAULT_SCALAR_CAP = 20_000
+DEFAULT_BATCH = 4096
+DEFAULT_TOLERANCE = 0.3
+
+
+def _workload(rate: float):
+    cluster = ClusterSpec(n_servers=30, bandwidth=Gbps)
+    pop = paper_fileset(
+        500, size_mb=100.0, zipf_exponent=1.05, total_rate=rate
+    )
+    policy = SPCachePolicy(pop, cluster, seed=0)
+    return pop, cluster, policy
+
+
+def _config(batch_size: int | None) -> SimulationConfig:
+    return SimulationConfig(
+        discipline="fifo",
+        jitter="deterministic",
+        stragglers=StragglerInjector.natural(),
+        seed=2,
+        batch_size=batch_size,
+    )
+
+
+def _timed_run(pop, cluster, policy, n_requests, batch_size):
+    stream = PoissonStream(pop, n_requests=n_requests, seed=1)
+    start = time.perf_counter()
+    result = simulate_reads(stream, policy, cluster, _config(batch_size))
+    wall = time.perf_counter() - start
+    assert result.n_requests == n_requests
+    return wall, result
+
+
+def run_engine_scale(
+    n_requests: int = DEFAULT_REQUESTS,
+    scalar_cap: int = DEFAULT_SCALAR_CAP,
+    batch_size: int = DEFAULT_BATCH,
+    rate: float = 20.0,
+) -> dict:
+    """One calibrated scalar run + one full vectorized run; returns the doc."""
+    pop, cluster, policy = _workload(rate)
+
+    n_scalar = min(n_requests, scalar_cap)
+    scalar_wall, _ = _timed_run(pop, cluster, policy, n_scalar, None)
+    scalar_rps = n_scalar / scalar_wall
+
+    vec_wall, _ = _timed_run(pop, cluster, policy, n_requests, batch_size)
+    vec_rps = n_requests / vec_wall
+
+    return {
+        "schema_version": 1,
+        "bench": "engine_scale",
+        "created_unix": time.time(),
+        "git_sha": git_sha(),
+        "n_requests": n_requests,
+        "scalar_requests": n_scalar,
+        "batch_size": batch_size,
+        # Shared shape with the conftest archives (CI asserts on it).
+        "wall_seconds": {
+            "engine_scale_scalar": scalar_wall,
+            "engine_scale_vectorized": vec_wall,
+        },
+        "requests_per_sec": {
+            "scalar": scalar_rps,
+            "vectorized": vec_rps,
+        },
+        "speedup": vec_rps / scalar_rps,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument(
+        "--scalar-requests", type=int, default=DEFAULT_SCALAR_CAP,
+        help="cap on the scalar calibration run (default %(default)s)",
+    )
+    parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--rate", type=float, default=20.0)
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="perf gate: fail when vectorized req/s regress vs this file",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression vs baseline (default 0.3)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output JSON path (default BENCH_<ts>_engine_scale.json)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_engine_scale(
+        n_requests=args.requests,
+        scalar_cap=args.scalar_requests,
+        batch_size=args.batch_size,
+        rate=args.rate,
+    )
+
+    out = args.out or time.strftime("BENCH_%Y%m%d-%H%M%S_engine_scale.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+    rps = doc["requests_per_sec"]
+    rss = doc["peak_rss_bytes"]
+    print(
+        f"engine scale: {doc['n_requests']} requests, "
+        f"batch={doc['batch_size']}\n"
+        f"  scalar      {rps['scalar']:>12.0f} req/s "
+        f"({doc['wall_seconds']['engine_scale_scalar']:.2f}s over "
+        f"{doc['scalar_requests']})\n"
+        f"  vectorized  {rps['vectorized']:>12.0f} req/s "
+        f"({doc['wall_seconds']['engine_scale_vectorized']:.2f}s)\n"
+        f"  speedup     {doc['speedup']:>12.1f}x\n"
+        f"  peak rss    "
+        f"{(rss / 2**20 if rss else float('nan')):>12.1f} MiB\n"
+        f"  archive  -> {out}"
+    )
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        floor = baseline["requests_per_sec"]["vectorized"] * (
+            1.0 - args.tolerance
+        )
+        if rps["vectorized"] < floor:
+            print(
+                f"PERF GATE FAILED: vectorized {rps['vectorized']:.0f} req/s "
+                f"< floor {floor:.0f} req/s "
+                f"(baseline {baseline['requests_per_sec']['vectorized']:.0f} "
+                f"- {args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"  perf gate   ok ({rps['vectorized']:.0f} >= {floor:.0f} req/s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,13 @@ Add a discipline by implementing ``run(lifecycle)`` and calling
 :func:`register_discipline`; ``docs/engine.md`` walks through it.
 """
 
+from repro.cluster.engine.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchPlanner,
+    PlanBatch,
+    get_batch_size,
+    use_batching,
+)
 from repro.cluster.engine.lifecycle import (
     METRIC_SNAPSHOT_KEYS,
     RequestLifecycle,
@@ -44,18 +51,23 @@ from repro.cluster.engine.shared_heap import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "METRIC_SNAPSHOT_KEYS",
+    "BatchPlanner",
     "FifoDiscipline",
     "LimitedDiscipline",
     "PSDiscipline",
+    "PlanBatch",
     "RequestLifecycle",
     "ServerDiscipline",
     "SimulationConfig",
     "SimulationResult",
     "available_disciplines",
+    "get_batch_size",
     "planner_name",
     "record_run_metrics",
     "register_discipline",
     "resolve_discipline",
     "simulate_reads_ps",
+    "use_batching",
 ]

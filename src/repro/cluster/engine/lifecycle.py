@@ -49,6 +49,7 @@ from repro.obs.timeline import (
 from repro.obs.tracing import Tracer, get_tracer
 from repro.store.lru import LRUCache
 from repro.workloads.arrivals import ArrivalTrace
+from repro.workloads.streams import WorkloadStream, is_stream
 
 __all__ = [
     "METRIC_SNAPSHOT_KEYS",
@@ -169,6 +170,11 @@ class SimulationConfig:
     tracer: Tracer | None = None
     timeline: TimelineConfig | None = None
     popularity: PopularityConfig | None = None
+    #: Requests per planned batch for the vectorized planning layer
+    #: (:mod:`repro.cluster.engine.batch`).  ``None`` falls back to the
+    #: ambient :func:`repro.cluster.engine.batch.get_batch_size`, itself
+    #: ``None`` (scalar per-request path) unless installed.
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         from repro.cluster.engine.registry import resolve_discipline
@@ -199,6 +205,18 @@ class SimulationConfig:
                 f"popularity must be a PopularityConfig or None, "
                 f"got {type(self.popularity).__name__}"
             )
+        if self.batch_size is not None:
+            if not isinstance(self.batch_size, int) or isinstance(
+                self.batch_size, bool
+            ):
+                raise TypeError(
+                    f"batch_size must be an int or None, "
+                    f"got {type(self.batch_size).__name__}"
+                )
+            if self.batch_size < 1:
+                raise ValueError(
+                    f"batch_size must be >= 1, got {self.batch_size}"
+                )
 
 
 @dataclass
@@ -244,9 +262,10 @@ class SimulationResult:
 
 def _validate_inputs(trace: object, planner: object, cluster: object) -> None:
     """Real exceptions, not ``assert``s — these survive ``python -O``."""
-    if not isinstance(trace, ArrivalTrace):
+    if not isinstance(trace, ArrivalTrace) and not is_stream(trace):
         raise TypeError(
-            f"trace must be an ArrivalTrace, got {type(trace).__name__}"
+            f"trace must be an ArrivalTrace or WorkloadStream, "
+            f"got {type(trace).__name__}"
         )
     if not isinstance(cluster, ClusterSpec):
         raise TypeError(
@@ -275,26 +294,46 @@ class RequestLifecycle:
 
     def __init__(
         self,
-        trace: ArrivalTrace,
+        trace: ArrivalTrace | WorkloadStream,
         planner,
         cluster: ClusterSpec,
         config: SimulationConfig,
         engine: str,
     ) -> None:
+        from repro.cluster.engine.batch import BatchPlanner, get_batch_size
+
         _validate_inputs(trace, planner, cluster)
         if not isinstance(config, SimulationConfig):
             raise TypeError(
                 f"config must be a SimulationConfig, "
                 f"got {type(config).__name__}"
             )
-        self.trace = trace
         self.planner = planner
         self.cluster = cluster
         self.config = config
         self.engine = engine
+        self.batch_size = (
+            config.batch_size
+            if config.batch_size is not None
+            else get_batch_size()
+        )
+        self.stream: WorkloadStream | None = None
+        self.trace: ArrivalTrace | None
+        if isinstance(trace, ArrivalTrace):
+            self.trace = trace
+            self.n_requests = trace.n_requests
+        else:
+            self.stream = trace
+            self.n_requests = int(trace.n_requests)
+            # Only the batched fifo fast path consumes chunks directly
+            # (assembling the trace as it goes); the heap disciplines and
+            # the scalar loops need random access to the whole trace.
+            if engine == "fifo" and self.batch_size:
+                self.trace = None
+            else:
+                self.trace = trace.materialize()
         self.rng = make_rng(config.seed)
         self.bandwidths = cluster.bandwidths
-        self.n_requests = trace.n_requests
         self.exponential = config.jitter == "exponential"
         self.goodput = config.goodput
         self.injector = config.stragglers
@@ -355,6 +394,11 @@ class RequestLifecycle:
         # bandwidth comes from a short array, so this avoids one
         # interpolation per (fan-out, server-speed) pair.
         self._factor_memo: dict[tuple[int, float], float] = {}
+        #: Vectorized planning layer; ``None`` keeps the scalar path
+        #: (and its goldens) untouched.
+        self.batch_planner: BatchPlanner | None = (
+            BatchPlanner(self) if self.batch_size else None
+        )
 
     # -- planning -----------------------------------------------------
 

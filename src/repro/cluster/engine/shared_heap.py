@@ -41,6 +41,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.cluster.engine.batch import _SegView
 from repro.cluster.engine.lifecycle import RequestLifecycle, SimulationResult
 from repro.cluster.engine.registry import register_discipline
 
@@ -111,6 +112,18 @@ def _run_heap(
     ]
     heapq.heapify(heap)
 
+    # Batched planning: arrivals pop in request order (kind 0 sorts
+    # before completions at equal times, ties break on the request id,
+    # and the trace is time-sorted), and this engine consumes RNG only
+    # while processing arrivals — so planning the next ``batch_size``
+    # requests when the first of them arrives replays the scalar RNG
+    # stream byte for byte.
+    planner_b = lc.batch_planner
+    batch = None
+    batch_j0 = 0
+    batch_end = 0
+    batch_eff: np.ndarray | None = None
+
     def advance(fid: int, t: float) -> None:
         f_remaining[fid] = max(
             f_remaining[fid] - f_rate[fid] * (t - f_last[fid]), 0.0
@@ -163,41 +176,80 @@ def _run_heap(
         if kind == 0:
             j = ident
             fid0 = int(trace.file_ids[j])
-            op = lc.plan(fid0)
-            if track:
-                # Arrivals pop in nondecreasing time, so sim-time window
-                # rollover inside the monitor stays monotone.
-                lc.observe_popularity(t, fid0, op)
-            k = op.parallelism
-            sizes = op.sizes.astype(np.float64).copy()
-            gfactors: list[float] | None = [] if observe else None
-            if goodput is not None:
-                for pos in range(k):
-                    b = float(bandwidths[op.server_ids[pos]])
-                    g = lc.goodput_factor(k, b)
-                    sizes[pos] /= g
-                    if gfactors is not None:
-                        gfactors.append(g)
-            elif gfactors is not None:
-                gfactors = [1.0] * k
-            if exponential:
-                sizes *= rng.exponential(1.0, size=k)
-            straggled = False
-            if injector.enabled:
-                extra, _mult = lc.report_delays(op)
-                straggled = bool(np.any(extra > 0.0))
-                lc.count_straggled(straggled)
+            if planner_b is not None:
+                if j >= batch_end:
+                    hi = min(j + lc.batch_size, n_requests)
+                    batch = planner_b.plan_batch(
+                        trace.times[j:hi], trace.file_ids[j:hi]
+                    )
+                    batch_j0 = j
+                    batch_end = hi
+                    # Effective bytes for the whole batch at once:
+                    # divide-by-goodput then multiply-by-jitter are the
+                    # scalar loop's elementwise ops (goodput off means
+                    # dividing by exactly 1.0 — a bitwise identity).
+                    batch_eff = batch.sizes / batch.gfactors
+                    if batch.jitter is not None:
+                        batch_eff = batch_eff * batch.jitter
+                b_ix = j - batch_j0
+                lo = int(batch.req_off[b_ix])
+                hi_f = int(batch.req_off[b_ix + 1])
+                op_servers = batch.servers[lo:hi_f]
+                op_sizes = batch.sizes[lo:hi_f]
+                op = _SegView(op_servers, op_sizes)
+                k = hi_f - lo
+                sizes = batch_eff[lo:hi_f]
+                gfactors = batch.gfactors[lo:hi_f] if observe else None
+                if track:
+                    lc.observe_popularity(t, fid0, op)
+                straggled = False
+                if injector.enabled:
+                    extra = batch.extra[lo:hi_f]
+                    straggled = bool(batch.straggled_extra[b_ix])
+                    lc.count_straggled(straggled)
+                else:
+                    extra = np.zeros(k)
+                req_remaining[j] = batch.join_count[b_ix]
+                req_post_fraction[j] = batch.post_fraction[b_ix]
+                req_post_seconds[j] = batch.post_seconds[b_ix]
             else:
-                extra = np.zeros(k)
-            req_remaining[j] = op.join_count
-            req_post_fraction[j] = op.post_fraction
-            req_post_seconds[j] = op.post_seconds
+                op = lc.plan(fid0)
+                if track:
+                    # Arrivals pop in nondecreasing time, so sim-time
+                    # window rollover inside the monitor stays monotone.
+                    lc.observe_popularity(t, fid0, op)
+                op_servers = op.server_ids
+                op_sizes = op.sizes
+                k = op.parallelism
+                sizes = op.sizes.astype(np.float64).copy()
+                gfactors = [] if observe else None
+                if goodput is not None:
+                    for pos in range(k):
+                        b = float(bandwidths[op_servers[pos]])
+                        g = lc.goodput_factor(k, b)
+                        sizes[pos] /= g
+                        if gfactors is not None:
+                            gfactors.append(g)
+                elif gfactors is not None:
+                    gfactors = [1.0] * k
+                if exponential:
+                    sizes *= rng.exponential(1.0, size=k)
+                straggled = False
+                if injector.enabled:
+                    extra, _mult = lc.report_delays(op)
+                    straggled = bool(np.any(extra > 0.0))
+                    lc.count_straggled(straggled)
+                else:
+                    extra = np.zeros(k)
+                req_remaining[j] = op.join_count
+                req_post_fraction[j] = op.post_fraction
+                req_post_seconds[j] = op.post_seconds
             req_miss[j] = lc.admit(fid0)
 
             affected: set[int] = set()
             new_active: list[int] = []
             for pos in range(k):
-                sid = int(op.server_ids[pos])
+                sid = int(op_servers[pos])
                 fid = len(f_server)
                 f_server.append(sid)
                 f_request.append(j)
@@ -209,9 +261,9 @@ def _run_heap(
                 if observe:
                     f_pos.append(pos)
                     f_start.append(t)  # overwritten if the flow waits
-                    f_bytes.append(float(op.sizes[pos]))
-                    f_gfactor.append(gfactors[pos])
-                server_bytes[sid] += op.sizes[pos]
+                    f_bytes.append(float(op_sizes[pos]))
+                    f_gfactor.append(float(gfactors[pos]))
+                server_bytes[sid] += op_sizes[pos]
                 if capacity is None or len(server_active[sid]) < capacity:
                     affected.update(server_active[sid])
                     server_active[sid].add(fid)

@@ -31,6 +31,7 @@ from repro.cluster.engine import (
 )
 from repro.common import ClusterSpec
 from repro.workloads.arrivals import ArrivalTrace
+from repro.workloads.streams import WorkloadStream
 
 __all__ = [
     "SimulationConfig",
@@ -42,7 +43,7 @@ __all__ = [
 
 
 def simulate_reads(
-    trace: ArrivalTrace,
+    trace: ArrivalTrace | WorkloadStream,
     planner,
     cluster: ClusterSpec,
     config: SimulationConfig | None = None,
@@ -52,7 +53,12 @@ def simulate_reads(
     ``planner`` is any policy from :mod:`repro.policies` (or anything
     honouring the :class:`~repro.cluster.client.ReadPlanner` protocol).
     The server model comes from ``config.discipline`` — see
-    :class:`SimulationConfig`.
+    :class:`SimulationConfig`.  ``trace`` may be an eager
+    :class:`ArrivalTrace` or a lazy
+    :class:`~repro.workloads.streams.WorkloadStream`; streams feed the
+    batched fifo fast path chunk by chunk (when ``config.batch_size`` or
+    the ambient batch size is set) and are materialized for the heap
+    disciplines.
     """
     config = config or SimulationConfig()
     discipline = resolve_discipline(config.discipline)

@@ -80,7 +80,7 @@ __all__ = ["main", "run_experiment"]
 
 
 def run_experiment(
-    name: str, scale: float = 1.0, **params
+    name: str, scale: float = 1.0, batch_size: int | None = None, **params
 ) -> tuple[list[dict], dict]:
     """Run one registered experiment under the shared telemetry wrapper.
 
@@ -93,6 +93,9 @@ def run_experiment(
     whatever tracer is installed, so a traced pass captures the full
     hierarchy in its JSONL stream too.  ``params`` override the spec's
     sweep parameters (``run_experiment("fig12", rate=22.0)``).
+    ``batch_size`` installs an ambient vectorized batch size for
+    batchable specs (see :meth:`ExperimentSpec.run`); the value used is
+    recorded in the manifest's config.
     """
     spec = get_spec(name)
     collector = SpanCollector()
@@ -110,9 +113,15 @@ def run_experiment(
                     if spec.timeline:
                         with collect_timelines(timelines):
                             with use_timeline(TimelineConfig()):
-                                rows = spec.run(scale=scale, **params)
+                                rows = spec.run(
+                                    scale=scale,
+                                    batch_size=batch_size,
+                                    **params,
+                                )
                     else:
-                        rows = spec.run(scale=scale, **params)
+                        rows = spec.run(
+                            scale=scale, batch_size=batch_size, **params
+                        )
     finally:
         set_registry(previous)
     roots = [r for r in collector.roots() if r.name == "experiment"]
@@ -123,6 +132,7 @@ def run_experiment(
         "accepts_scale": spec.accepts_scale,
         "timing_rows": spec.timing_rows,
         "timelines": spec.timeline,
+        "batch_size": batch_size if spec.batchable else None,
         "params": {k: repr(v) for k, v in sorted(params.items())},
         "spec": spec.describe(),
         "defaults": defaults_dict(),
@@ -160,27 +170,36 @@ def _run_serial(
     outdir: pathlib.Path,
     session_spans: SpanCollector,
     session_timelines: list[dict],
+    batch_size: int | None = None,
 ) -> None:
     # The outer timeline sink sees every section the per-experiment sinks
     # do (sinks nest), so ``--chrome-trace`` can add counter tracks for
     # the whole pass.
     with collect_spans(session_spans), collect_timelines(session_timelines):
         for name in names:
-            rows, manifest = run_experiment(name, scale=scale)
+            rows, manifest = run_experiment(
+                name, scale=scale, batch_size=batch_size
+            )
             _write_result(name, rows, manifest, outdir)
 
 
-def _pool_run(name: str, scale: float) -> tuple[str, list[dict], dict]:
+def _pool_run(
+    name: str, scale: float, batch_size: int | None = None
+) -> tuple[str, list[dict], dict]:
     """Process-pool worker: one experiment, full telemetry wrapper."""
     from repro.experiments.registry import load_all
 
     load_all()  # spawn-start workers import this module fresh
-    rows, manifest = run_experiment(name, scale=scale)
+    rows, manifest = run_experiment(name, scale=scale, batch_size=batch_size)
     return name, rows, manifest
 
 
 def _run_parallel(
-    names: list[str], scale: float, outdir: pathlib.Path, jobs: int
+    names: list[str],
+    scale: float,
+    outdir: pathlib.Path,
+    jobs: int,
+    batch_size: int | None = None,
 ) -> None:
     """Fan the pass out over a process pool; emit in registry order.
 
@@ -190,7 +209,8 @@ def _run_parallel(
     results: dict[str, tuple[list[dict], dict]] = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
         futures = {
-            pool.submit(_pool_run, name, scale): name for name in names
+            pool.submit(_pool_run, name, scale, batch_size): name
+            for name in names
         }
         for future in as_completed(futures):
             name, rows, manifest = future.result()
@@ -220,6 +240,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="run up to N experiments in parallel worker processes",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="B",
+        help=(
+            "vectorized planning batch size for batchable experiments "
+            "(bit-exact vs scalar; unset runs the scalar engine)"
+        ),
     )
     parser.add_argument("--out", type=str, default="results")
     parser.add_argument(
@@ -255,8 +282,14 @@ def main(argv: list[str] | None = None) -> int:
     outdir = pathlib.Path(args.out)
     outdir.mkdir(parents=True, exist_ok=True)
 
+    if args.batch_size is not None and args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
+
     if args.jobs > 1:
-        _run_parallel(names, args.scale, outdir, args.jobs)
+        _run_parallel(
+            names, args.scale, outdir, args.jobs, batch_size=args.batch_size
+        )
         return 0
 
     session_spans = SpanCollector()
@@ -267,7 +300,7 @@ def main(argv: list[str] | None = None) -> int:
             with use_tracer(Tracer(sink)):
                 _run_serial(
                     names, args.scale, outdir, session_spans,
-                    session_timelines,
+                    session_timelines, batch_size=args.batch_size,
                 )
         finally:
             sink.close()
@@ -276,7 +309,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         _run_serial(
-            names, args.scale, outdir, session_spans, session_timelines
+            names, args.scale, outdir, session_spans, session_timelines,
+            batch_size=args.batch_size,
         )
 
     if args.chrome_trace:

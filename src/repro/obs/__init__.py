@@ -13,7 +13,7 @@ Cooperating pieces (each documented in its module, schema tables in
 :mod:`repro.obs.spans`
     Hierarchical wall-clock spans (parent/child ids, context manager +
     decorator, in-memory collection) with a Chrome/Perfetto trace-event
-    exporter.  Supersedes the flat :mod:`repro.obs.profiling` hooks.
+    exporter.  Supersedes the removed flat profiling hooks.
 :mod:`repro.obs.replay`
     Turn a JSONL trace back into per-server load vectors, load timelines,
     latency samples, metric snapshots, and span trees — what
@@ -84,6 +84,8 @@ from repro.obs.runinfo import (
     git_sha,
     load_manifest,
     load_manifest_dir,
+    peak_rss_bytes,
+    total_requests_from_metrics,
     validate_manifest,
     write_manifest,
 )
@@ -98,8 +100,7 @@ from repro.obs.spans import (
     write_chrome_trace,
 )
 
-# Legacy aliases, re-exported for back compat without importing the
-# deprecated repro.obs.profiling shim (which warns on import).
+# Legacy aliases for the removed repro.obs.profiling module's names.
 profiled = span
 profile = span_wrap
 from repro.obs.timeline import (
@@ -171,6 +172,7 @@ __all__ = [
     "load_manifest_dir",
     "load_timeline",
     "metrics_snapshots",
+    "peak_rss_bytes",
     "per_server_loads",
     "popularity_from_trace",
     "profile",
@@ -186,6 +188,7 @@ __all__ = [
     "sparkline",
     "tail_attribution_rows",
     "timeline_series_rows",
+    "total_requests_from_metrics",
     "trace_summary",
     "unknown_events",
     "use_popularity",

@@ -9,10 +9,10 @@ mechanically.  ``repro report`` (:mod:`repro.obs.report`) aggregates and
 diffs these files; CI uploads them as artifacts so the perf trajectory
 accumulates.
 
-Schema (version 3) — one flat JSON object:
+Schema (version 4) — one flat JSON object:
 
 ===================  ==========================================================
-``schema_version``   ``3``
+``schema_version``   ``4``
 ``experiment``       experiment name (``fig10``, ``theorem1``, ...)
 ``created_unix``     ``time.time()`` at manifest build
 ``git_sha``          ``git rev-parse HEAD`` or ``None`` outside a checkout
@@ -40,10 +40,17 @@ Schema (version 3) — one flat JSON object:
                      Zipf-exponent estimate, drift/hot-spot alerts.
                      Empty list when the run observed none.  New in
                      version 3.
+``peak_rss_bytes``   process peak resident set size at manifest build
+                     (``resource.getrusage``), or ``None`` where the
+                     platform doesn't report it.  New in version 4.
+``total_requests``   total simulated requests across the experiment's
+                     runs (summed from the ``sim.requests`` counters in
+                     the metrics snapshot).  New in version 4.
 ===================  ==========================================================
 
 Older manifests still load: readers treat a missing ``timelines`` (v1)
-or ``popularity`` (v1/v2) as an empty list.
+or ``popularity`` (v1/v2) as an empty list, and missing
+``peak_rss_bytes``/``total_requests`` (v1-v3) as unknown.
 
 :func:`validate_manifest` enforces this shape; :func:`load_manifest`
 validates on read so a corrupt or foreign JSON file fails loudly rather
@@ -55,6 +62,7 @@ from __future__ import annotations
 import hashlib
 import json
 import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Any, Iterable
@@ -67,14 +75,16 @@ __all__ = [
     "git_sha",
     "load_manifest",
     "load_manifest_dir",
+    "peak_rss_bytes",
+    "total_requests_from_metrics",
     "validate_manifest",
     "write_manifest",
 ]
 
-MANIFEST_SCHEMA_VERSION = 3
+MANIFEST_SCHEMA_VERSION = 4
 
 #: schema versions this build can read.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 #: required key -> accepted types (``None`` entries listed explicitly).
 _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
@@ -96,7 +106,39 @@ _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
 _VERSIONED_FIELDS: dict[str, tuple[int, tuple[type, ...]]] = {
     "timelines": (2, (list,)),
     "popularity": (3, (list,)),
+    "peak_rss_bytes": (4, (int, float, type(None))),
+    "total_requests": (4, (int,)),
 }
+
+
+def peak_rss_bytes() -> int | None:
+    """This process's peak resident set size in bytes, if knowable.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; platforms
+    without :mod:`resource` (or reporting zero) yield ``None``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:  # pragma: no cover - platform quirk
+        return None
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def total_requests_from_metrics(metrics: dict[str, Any]) -> int:
+    """Sum the ``sim.requests`` counters out of a metrics snapshot.
+
+    Snapshot keys render labels inline (``"sim.requests{scheme=...}"``),
+    so every series of the counter — one per scheme/engine combination —
+    contributes its count.
+    """
+    total = 0.0
+    for key, value in metrics.items():
+        if key == "sim.requests" or key.startswith("sim.requests{"):
+            total += float(value)
+    return int(total)
 
 
 def git_sha() -> str | None:
@@ -146,6 +188,8 @@ def build_manifest(
     metrics: dict[str, Any] | None = None,
     timelines: Iterable[dict[str, Any]] = (),
     popularity: Iterable[dict[str, Any]] = (),
+    peak_rss: int | None = None,
+    total_requests: int | None = None,
 ) -> dict[str, Any]:
     """Assemble and validate one current-schema manifest.
 
@@ -153,8 +197,16 @@ def build_manifest(
     plain dicts; ``config`` is hashed with :func:`config_hash`;
     ``timelines`` takes sections from :mod:`repro.obs.timeline` and
     ``popularity`` sections from :mod:`repro.obs.popularity`.
+    ``peak_rss`` defaults to :func:`peak_rss_bytes` measured at build
+    time; ``total_requests`` defaults to summing the ``sim.requests``
+    counters in ``metrics``.
     """
     config = dict(config or {})
+    metrics = dict(metrics or {})
+    if peak_rss is None:
+        peak_rss = peak_rss_bytes()
+    if total_requests is None:
+        total_requests = total_requests_from_metrics(metrics)
     manifest: dict[str, Any] = {
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "experiment": str(experiment),
@@ -167,9 +219,11 @@ def build_manifest(
         "wall_s": float(wall_s),
         "rows": [dict(r) for r in rows],
         "spans": _span_dicts(spans),
-        "metrics": dict(metrics or {}),
+        "metrics": metrics,
         "timelines": [dict(t) for t in timelines],
         "popularity": [dict(p) for p in popularity],
+        "peak_rss_bytes": peak_rss,
+        "total_requests": int(total_requests),
     }
     return validate_manifest(manifest)
 
@@ -211,6 +265,12 @@ def validate_manifest(manifest: Any) -> dict[str, Any]:
             )
     if manifest["wall_s"] < 0:
         raise ValueError("manifest wall_s must be non-negative")
+    if manifest["schema_version"] >= 4:
+        rss = manifest["peak_rss_bytes"]
+        if rss is not None and rss < 0:
+            raise ValueError("manifest peak_rss_bytes must be non-negative")
+        if manifest["total_requests"] < 0:
+            raise ValueError("manifest total_requests must be non-negative")
     for i, row in enumerate(manifest["rows"]):
         if not isinstance(row, dict):
             raise ValueError(f"manifest row {i} is not an object")

@@ -9,8 +9,8 @@ planning, byte-store reads/writes) open child spans, and the resulting
 forest is what run manifests (:mod:`repro.obs.runinfo`) and the
 Chrome/Perfetto exporter (:func:`chrome_trace`) consume.
 
-This module supersedes the flat hooks of :mod:`repro.obs.profiling`
-(which is now a thin alias shim).  A finished span is reported three ways:
+This module supersedes the removed flat profiling hooks (the old
+``repro.obs.profiling``).  A finished span is reported three ways:
 
 * a ``span.<name>.seconds`` histogram observation in the process-wide
   metrics registry (always on — labels deliberately do **not** become

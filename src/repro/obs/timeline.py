@@ -201,6 +201,11 @@ class TimelineCollector:
         self._extra: list[float] = []
         self._gfactor: list[float] = []
         self._blocks: list[tuple[int, np.ndarray, ...]] = []
+        # Whole-batch frames from the vectorized engines: each holds
+        # many requests' partition rows as flat arrays, so a
+        # million-request run buffers thousands of frames instead of
+        # millions of Python scalars.
+        self._frames: list[tuple[np.ndarray, ...]] = []
         # Per-request facts, filled as the run learns them.
         self.crit_pos = np.full(self.n_requests, -1, dtype=np.int64)
         self.missed = np.zeros(self.n_requests, dtype=bool)
@@ -261,6 +266,41 @@ class TimelineCollector:
         join — the critical path for attribution."""
         self.crit_pos[req] = pos
 
+    # -- batched hooks (many requests per call, array-valued) ----------
+
+    def record_partition_frame(
+        self, reqs, poss, servers, sizes, starts, ends, extras, gfactors
+    ) -> None:
+        """Flat-array form of :meth:`record_partition` covering many
+        requests at once (``reqs``/``poss`` give each row's request id
+        and partition position).  Arrays are copied; finalize merges
+        frames with scalar records and blocks, so all three paths
+        produce identical sections."""
+        self._frames.append(
+            (
+                np.array(reqs, dtype=np.int64),
+                np.array(poss, dtype=np.int64),
+                np.array(servers, dtype=np.int64),
+                np.array(sizes, dtype=np.float64),
+                np.array(starts, dtype=np.float64),
+                np.array(ends, dtype=np.float64),
+                np.array(extras, dtype=np.float64),
+                np.array(gfactors, dtype=np.float64),
+            )
+        )
+
+    def record_request_frame(self, reqs, missed, straggled) -> None:
+        """Array form of :meth:`record_request`."""
+        reqs = np.asarray(reqs, dtype=np.int64)
+        self.missed[reqs] = np.asarray(missed, dtype=bool)
+        self.straggled[reqs] = np.asarray(straggled, dtype=bool)
+
+    def record_join_frame(self, reqs, poss) -> None:
+        """Array form of :meth:`record_join`."""
+        self.crit_pos[np.asarray(reqs, dtype=np.int64)] = np.asarray(
+            poss, dtype=np.int64
+        )
+
     # -- finalize -----------------------------------------------------
 
     def _merged_records(self) -> tuple[np.ndarray, ...]:
@@ -288,6 +328,15 @@ class TimelineCollector:
             ends.append(en)
             extras.append(np.broadcast_to(ex, (k,)))
             gfactors.append(np.broadcast_to(gf, (k,)))
+        for rq, ps, srv, sz, st, en, ex, gf in self._frames:
+            reqs.append(rq)
+            poss.append(ps)
+            servers.append(srv)
+            sizes.append(sz)
+            starts.append(st)
+            ends.append(en)
+            extras.append(ex)
+            gfactors.append(gf)
         return tuple(
             np.concatenate(parts)
             for parts in (

@@ -26,6 +26,15 @@ from repro.workloads.io import (
     save_trace,
 )
 from repro.workloads.popularity import shuffled_popularity, zipf_popularity
+from repro.workloads.streams import (
+    DEFAULT_CHUNK_SIZE,
+    GoogleStream,
+    MaterializedStream,
+    PoissonStream,
+    WorkloadStream,
+    as_trace,
+    is_stream,
+)
 from repro.workloads.yahoo import (
     YahooTraceModel,
     access_count_buckets,
@@ -35,9 +44,16 @@ from repro.workloads.yahoo import (
 __all__ = [
     "ArrivalTrace",
     "BingStragglerProfile",
+    "DEFAULT_CHUNK_SIZE",
     "GoogleArrivalModel",
+    "GoogleStream",
+    "MaterializedStream",
+    "PoissonStream",
+    "WorkloadStream",
     "YahooTraceModel",
     "access_count_buckets",
+    "as_trace",
+    "is_stream",
     "load_population",
     "load_trace",
     "merge_traces",

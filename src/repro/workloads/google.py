@@ -18,6 +18,7 @@ with the Poisson experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -59,6 +60,44 @@ class GoogleArrivalModel:
         quiet = total_rate / ((1 - f) + f * r)
         return quiet, quiet * r
 
+    def arrival_blocks(
+        self,
+        total_rate: float,
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> Iterator[np.ndarray]:
+        """Yield per-dwell arrival blocks, *unsorted*, in exact draw order.
+
+        Each yielded block holds the arrivals of one quiet/bursty sojourn.
+        Successive blocks occupy disjoint, strictly increasing time
+        intervals, so the concatenation of per-block sorted arrays equals
+        the globally sorted :meth:`arrival_times` output — which is what
+        lets :class:`repro.workloads.streams.GoogleStream` emit chunks
+        without retaining the whole realization.  The RNG draw sequence
+        (state flip, dwell, Poisson count, uniforms-iff-nonempty) is the
+        historical one, byte for byte.
+        """
+        if total_rate <= 0 or horizon <= 0:
+            raise ValueError("total_rate and horizon must be positive")
+        quiet_rate, bursty_rate = self.state_rates(total_rate)
+        # Long-run time fraction in the bursty state must equal
+        # burst_fraction: dwell_bursty / (dwell_bursty + dwell_quiet) = f.
+        quiet_dwell = (
+            self.mean_dwell * (1 - self.burst_fraction) / self.burst_fraction
+        )
+
+        t = 0.0
+        bursty = bool(rng.random() < self.burst_fraction)
+        while t < horizon:
+            dwell = rng.exponential(self.mean_dwell if bursty else quiet_dwell)
+            end = min(t + dwell, horizon)
+            rate = bursty_rate if bursty else quiet_rate
+            n = rng.poisson(rate * (end - t))
+            if n:
+                yield rng.uniform(t, end, size=n)
+            t = end
+            bursty = not bursty
+
     def arrival_times(
         self,
         total_rate: float,
@@ -70,28 +109,9 @@ class GoogleArrivalModel:
         Alternates quiet/bursty states; within each state arrivals are
         Poisson at the state rate, sampled in a vectorized block.
         """
-        if total_rate <= 0 or horizon <= 0:
-            raise ValueError("total_rate and horizon must be positive")
-        rng = make_rng(seed)
-        quiet_rate, bursty_rate = self.state_rates(total_rate)
-        # Long-run time fraction in the bursty state must equal
-        # burst_fraction: dwell_bursty / (dwell_bursty + dwell_quiet) = f.
-        quiet_dwell = (
-            self.mean_dwell * (1 - self.burst_fraction) / self.burst_fraction
+        chunks = list(
+            self.arrival_blocks(total_rate, horizon, make_rng(seed))
         )
-
-        chunks: list[np.ndarray] = []
-        t = 0.0
-        bursty = bool(rng.random() < self.burst_fraction)
-        while t < horizon:
-            dwell = rng.exponential(self.mean_dwell if bursty else quiet_dwell)
-            end = min(t + dwell, horizon)
-            rate = bursty_rate if bursty else quiet_rate
-            n = rng.poisson(rate * (end - t))
-            if n:
-                chunks.append(rng.uniform(t, end, size=n))
-            t = end
-            bursty = not bursty
         if not chunks:
             return np.empty(0, dtype=np.float64)
         times = np.concatenate(chunks)

@@ -1,0 +1,367 @@
+"""Seeded lazy workload streams: million-request traces without the RAM.
+
+An :class:`~repro.workloads.arrivals.ArrivalTrace` materializes every
+timestamp and file choice up front — fine at 4k requests, hostile at 10⁷.
+A :class:`WorkloadStream` is the lazy, replayable equivalent: it knows its
+request count and a content fingerprint up front, yields ``(times,
+file_ids)`` chunks on demand, and regenerating it from the same seed
+produces the identical stream on every pass, in every process.
+
+Determinism contract (what the parity tests pin down):
+
+* **Chunk invariance** — the concatenation of the chunks is independent
+  of ``chunk_size``.  This leans on verified bit-exactness properties of
+  numpy's PCG64 generator: chunked ``rng.exponential``/``rng.random``/
+  ``rng.choice(..., p=p)`` draws concatenate bitwise to the single-call
+  draw, and a chunked ``cumsum`` seeded with the previous chunk's last
+  value equals the global ``cumsum`` bitwise.
+* **Materialized parity** — ``stream.materialize()`` equals the legacy
+  eager builder (:func:`~repro.workloads.arrivals.poisson_trace`,
+  :meth:`~repro.workloads.google.GoogleArrivalModel.arrival_times` +
+  :func:`~repro.workloads.arrivals.trace_from_times`) byte for byte.
+  For the Poisson stream, which the eager builder generates from *one*
+  generator (all gaps, then all choices), this needs two phase-locked
+  generators: the file-choice generator fast-forwards past the gap draws
+  by drawing and discarding ``n`` standard exponentials (the generator
+  state after ``n`` exponential draws is scale- and chunking-independent).
+* **Cross-process replay** — a stream is a small picklable description
+  (population, count, seed), so ``--jobs N`` workers regenerate identical
+  streams instead of shipping arrays.
+
+Streams require a *value* seed (int or ``None``), never a live
+``Generator``: a generator's state would be consumed by the first pass
+and the stream could not replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.common import FilePopulation, make_rng, validate_probability_vector
+from repro.workloads.arrivals import ArrivalTrace
+from repro.workloads.google import GoogleArrivalModel
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "GoogleStream",
+    "MaterializedStream",
+    "PoissonStream",
+    "WorkloadStream",
+    "as_trace",
+    "is_stream",
+]
+
+#: Default number of requests per yielded chunk.
+DEFAULT_CHUNK_SIZE = 65536
+
+
+@runtime_checkable
+class WorkloadStream(Protocol):
+    """What the engine and the workload cache require of a lazy trace."""
+
+    @property
+    def n_requests(self) -> int:  # pragma: no cover - protocol
+        """Total number of requests the stream will yield."""
+        ...
+
+    def fingerprint(self) -> str:  # pragma: no cover - protocol
+        """Stable content hash of the full stream (without forcing it)."""
+        ...
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:  # pragma: no cover
+        """Yield ``(times, file_ids)`` arrays of at most ``chunk_size``."""
+        ...
+
+    def materialize(self) -> ArrivalTrace:  # pragma: no cover - protocol
+        """Force the whole stream into one :class:`ArrivalTrace`."""
+        ...
+
+
+def is_stream(obj: Any) -> bool:
+    """``True`` when ``obj`` honours the :class:`WorkloadStream` protocol."""
+    return (
+        not isinstance(obj, ArrivalTrace)
+        and hasattr(obj, "n_requests")
+        and callable(getattr(obj, "chunks", None))
+        and callable(getattr(obj, "materialize", None))
+        and callable(getattr(obj, "fingerprint", None))
+    )
+
+
+def as_trace(workload: ArrivalTrace | WorkloadStream) -> ArrivalTrace:
+    """Materialize a stream; pass an :class:`ArrivalTrace` through."""
+    if isinstance(workload, ArrivalTrace):
+        return workload
+    if is_stream(workload):
+        return workload.materialize()
+    raise TypeError(
+        f"expected an ArrivalTrace or WorkloadStream, "
+        f"got {type(workload).__name__}"
+    )
+
+
+def _check_chunk_size(chunk_size: int) -> int:
+    if not isinstance(chunk_size, int) or chunk_size < 1:
+        raise ValueError(f"chunk_size must be a positive int, got {chunk_size!r}")
+    return chunk_size
+
+
+def _check_value_seed(seed: Any) -> None:
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "streams need a replayable value seed (int or None), "
+            "not a live Generator"
+        )
+
+
+def _population_digest(digest: "hashlib._Hash", population: FilePopulation) -> None:
+    digest.update(np.ascontiguousarray(population.sizes).tobytes())
+    digest.update(np.ascontiguousarray(population.popularities).tobytes())
+    digest.update(repr(float(population.total_rate)).encode())
+
+
+class PoissonStream:
+    """Lazy equivalent of :func:`~repro.workloads.arrivals.poisson_trace`.
+
+    ``materialize()`` is byte-identical to
+    ``poisson_trace(population, n_requests=n_requests, seed=seed)`` and
+    the chunk concatenation is byte-identical to ``materialize()`` for
+    every chunk size.
+    """
+
+    def __init__(
+        self,
+        population: FilePopulation,
+        n_requests: int,
+        seed: int | None = 0,
+        rate: float | None = None,
+    ) -> None:
+        if not isinstance(population, FilePopulation):
+            raise TypeError(
+                f"population must be a FilePopulation, "
+                f"got {type(population).__name__}"
+            )
+        if n_requests < 0:
+            raise ValueError("n_requests must be non-negative")
+        _check_value_seed(seed)
+        self.population = population
+        self._n_requests = int(n_requests)
+        self.seed = seed
+        self.rate = float(rate) if rate is not None else float(
+            population.total_rate
+        )
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+
+    @property
+    def n_requests(self) -> int:
+        return self._n_requests
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1()
+        digest.update(b"poisson_stream/1\x00")
+        _population_digest(digest, self.population)
+        digest.update(repr((self.rate, self._n_requests, self.seed)).encode())
+        return digest.hexdigest()
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        chunk_size = _check_chunk_size(chunk_size)
+        n = self._n_requests
+        if n == 0:
+            return
+        p = validate_probability_vector(self.population.popularities)
+        # The eager builder threads ONE generator through all gap draws,
+        # then all file choices.  Split that into two phase-locked
+        # generators: gaps read from a fresh generator; choices read from
+        # a second fresh generator fast-forwarded past exactly n
+        # exponential draws (state after n draws is scale- and
+        # chunking-independent), i.e. parked where the eager builder's
+        # generator sat when it started choosing files.
+        rng_gaps = make_rng(self.seed)
+        rng_files = make_rng(self.seed)
+        skipped = 0
+        while skipped < n:
+            c = min(chunk_size, n - skipped)
+            rng_files.exponential(1.0, size=c)
+            skipped += c
+        scale = 1.0 / self.rate
+        offset = 0.0
+        done = 0
+        while done < n:
+            c = min(chunk_size, n - done)
+            gaps = rng_gaps.exponential(scale, size=c)
+            # Seeding the chunk cumsum with the previous chunk's last
+            # value reproduces the global cumsum bitwise (sequential
+            # left-to-right float additions either way).
+            times = np.cumsum(np.concatenate(([offset], gaps)))[1:]
+            offset = float(times[-1])
+            file_ids = rng_files.choice(p.size, size=c, p=p)
+            yield times, file_ids.astype(np.int64, copy=False)
+            done += c
+
+    def materialize(self) -> ArrivalTrace:
+        times: list[np.ndarray] = []
+        file_ids: list[np.ndarray] = []
+        for t, f in self.chunks():
+            times.append(t)
+            file_ids.append(f)
+        if not times:
+            return ArrivalTrace(np.empty(0), np.empty(0, dtype=np.int64))
+        return ArrivalTrace(np.concatenate(times), np.concatenate(file_ids))
+
+
+class GoogleStream:
+    """Lazy equivalent of the fig. 21 Google-MMPP trace build.
+
+    ``materialize()`` is byte-identical to
+    ``trace_from_times(model.arrival_times(rate, horizon, seed),
+    population, seed=choice_seed)``: MMPP blocks occupy disjoint,
+    increasing time ranges, so concatenating per-block sorted arrays
+    equals the global sort, and chunked file choices concatenate to the
+    eager single draw.
+
+    The request count of an MMPP realization is random; it is discovered
+    (and cached) by one counting replay of the block generator —
+    timestamps are regenerated per pass, never retained.
+    """
+
+    def __init__(
+        self,
+        population: FilePopulation,
+        total_rate: float,
+        horizon: float,
+        seed: int | None = 0,
+        choice_seed: int | None = None,
+        model: GoogleArrivalModel | None = None,
+    ) -> None:
+        if not isinstance(population, FilePopulation):
+            raise TypeError(
+                f"population must be a FilePopulation, "
+                f"got {type(population).__name__}"
+            )
+        _check_value_seed(seed)
+        _check_value_seed(choice_seed)
+        self.population = population
+        self.total_rate = float(total_rate)
+        self.horizon = float(horizon)
+        self.seed = seed
+        self.choice_seed = choice_seed if choice_seed is not None else seed
+        self.model = model if model is not None else GoogleArrivalModel()
+        if not isinstance(self.model, GoogleArrivalModel):
+            raise TypeError(
+                f"model must be a GoogleArrivalModel, "
+                f"got {type(self.model).__name__}"
+            )
+        self._count: int | None = None
+
+    @property
+    def n_requests(self) -> int:
+        if self._count is None:
+            count = 0
+            for block in self.model.arrival_blocks(
+                self.total_rate, self.horizon, make_rng(self.seed)
+            ):
+                count += block.size
+            self._count = count
+        return self._count
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1()
+        digest.update(b"google_stream/1\x00")
+        _population_digest(digest, self.population)
+        digest.update(
+            repr(
+                (
+                    self.total_rate,
+                    self.horizon,
+                    self.seed,
+                    self.choice_seed,
+                    self.model.burst_ratio,
+                    self.model.burst_fraction,
+                    self.model.mean_dwell,
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        chunk_size = _check_chunk_size(chunk_size)
+        p = validate_probability_vector(self.population.popularities)
+        rng_files = make_rng(self.choice_seed)
+        pending: list[np.ndarray] = []
+        pending_n = 0
+        for block in self.model.arrival_blocks(
+            self.total_rate, self.horizon, make_rng(self.seed)
+        ):
+            # Blocks are disjoint in time and increasing, so sorting each
+            # block equals slicing the globally sorted trace.
+            pending.append(np.sort(block))
+            pending_n += block.size
+            while pending_n >= chunk_size:
+                flat = np.concatenate(pending) if len(pending) > 1 else pending[0]
+                times, rest = flat[:chunk_size], flat[chunk_size:]
+                pending = [rest] if rest.size else []
+                pending_n = rest.size
+                file_ids = rng_files.choice(p.size, size=times.size, p=p)
+                yield times, file_ids.astype(np.int64, copy=False)
+        if pending_n:
+            times = np.concatenate(pending) if len(pending) > 1 else pending[0]
+            file_ids = rng_files.choice(p.size, size=times.size, p=p)
+            yield times, file_ids.astype(np.int64, copy=False)
+
+    def materialize(self) -> ArrivalTrace:
+        times: list[np.ndarray] = []
+        file_ids: list[np.ndarray] = []
+        for t, f in self.chunks():
+            times.append(t)
+            file_ids.append(f)
+        if not times:
+            return ArrivalTrace(np.empty(0), np.empty(0, dtype=np.int64))
+        trace = ArrivalTrace(np.concatenate(times), np.concatenate(file_ids))
+        if self._count is None:
+            self._count = trace.n_requests
+        return trace
+
+
+class MaterializedStream:
+    """Adapter presenting an eager :class:`ArrivalTrace` as a stream."""
+
+    def __init__(self, trace: ArrivalTrace) -> None:
+        if not isinstance(trace, ArrivalTrace):
+            raise TypeError(
+                f"trace must be an ArrivalTrace, got {type(trace).__name__}"
+            )
+        self.trace = trace
+
+    @property
+    def n_requests(self) -> int:
+        return self.trace.n_requests
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1()
+        digest.update(b"materialized_stream/1\x00")
+        digest.update(np.ascontiguousarray(self.trace.times).tobytes())
+        digest.update(np.ascontiguousarray(self.trace.file_ids).tobytes())
+        return digest.hexdigest()
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        chunk_size = _check_chunk_size(chunk_size)
+        times = self.trace.times
+        file_ids = self.trace.file_ids
+        for lo in range(0, times.size, chunk_size):
+            hi = lo + chunk_size
+            yield times[lo:hi], file_ids[lo:hi]
+
+    def materialize(self) -> ArrivalTrace:
+        return self.trace

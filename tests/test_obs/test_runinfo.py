@@ -88,6 +88,10 @@ def test_write_and_load_roundtrip(tmp_path):
         {"timelines": [{"no": "scheme"}]},
         {"popularity": "not a list"},
         {"popularity": [{"no": "scheme"}]},
+        {"peak_rss_bytes": "big"},
+        {"peak_rss_bytes": -1},
+        {"total_requests": -5},
+        {"total_requests": 1.5},
     ],
 )
 def test_validate_rejects_bad_manifests(overrides):
@@ -114,7 +118,7 @@ def test_build_manifest_carries_timeline_sections():
     section = {"scheme": "sp-cache", "engine": "ps", "n_windows": 3}
     m = build_manifest("figZ", [], wall_s=0.0, timelines=[section])
     assert m["timelines"] == [section]
-    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 3
+    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 4
 
 
 def test_build_manifest_carries_popularity_sections():
@@ -129,7 +133,42 @@ def test_v2_manifest_without_popularity_still_loads():
     m = _manifest()
     m["schema_version"] = 2
     del m["popularity"]
+    del m["peak_rss_bytes"]
+    del m["total_requests"]
     assert validate_manifest(m) is m
+
+
+def test_v3_manifest_without_resource_fields_still_loads():
+    """Manifests written before peak RSS / request totals keep validating."""
+    m = _manifest()
+    m["schema_version"] = 3
+    del m["peak_rss_bytes"]
+    del m["total_requests"]
+    assert validate_manifest(m) is m
+
+
+def test_manifest_records_peak_rss_and_total_requests():
+    m = build_manifest(
+        "figR",
+        [],
+        wall_s=0.0,
+        metrics={
+            "sim.requests{scheme=sp-cache,engine=fifo}": 400.0,
+            "sim.requests{scheme=ec-cache,engine=ps}": 250.0,
+            "sim.reads{scheme=sp-cache,engine=fifo}": 4000.0,
+        },
+    )
+    assert m["total_requests"] == 650
+    # This process certainly has pages resident on Linux/macOS.
+    assert m["peak_rss_bytes"] is None or m["peak_rss_bytes"] > 0
+
+
+def test_manifest_resource_field_overrides():
+    m = build_manifest(
+        "figR", [], wall_s=0.0, peak_rss=123456, total_requests=9
+    )
+    assert m["peak_rss_bytes"] == 123456
+    assert m["total_requests"] == 9
 
 
 def test_validate_rejects_missing_key():

@@ -186,13 +186,13 @@ def test_chrome_trace_from_replayed_events():
     assert x["args"]["k"] == 2
 
 
-def test_legacy_profiling_shim_is_span_and_warns():
-    import importlib
+def test_legacy_profiling_shim_is_removed():
+    # The deprecated repro.obs.profiling shim completed its removal
+    # cycle; the aliases live on in repro.obs only.
+    with pytest.raises(ModuleNotFoundError):
+        import repro.obs.profiling  # noqa: F401
 
-    with pytest.warns(DeprecationWarning, match="repro.obs.profiling"):
-        import repro.obs.profiling as profiling
+    import repro.obs as obs
 
-        profiling = importlib.reload(profiling)
-
-    assert profiling.profiled is span
-    assert profiling.profile is span_wrap
+    assert obs.profiled is span
+    assert obs.profile is span_wrap

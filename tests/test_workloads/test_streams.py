@@ -1,0 +1,182 @@
+"""Streaming workloads: seeded replay, chunk invariance, eager parity.
+
+The determinism contract (``docs/engine.md``): a stream is a pure
+function of its constructor arguments.  Two passes over the same stream,
+any chunk size, any process — same arrivals, bit for bit, and identical
+to the eager builders in :mod:`repro.workloads.arrivals` /
+:mod:`repro.workloads.google`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.common import FilePopulation
+from repro.workloads import (
+    GoogleStream,
+    MaterializedStream,
+    PoissonStream,
+    as_trace,
+    is_stream,
+    poisson_trace,
+)
+from repro.workloads.arrivals import trace_from_times
+from repro.workloads.google import GoogleArrivalModel
+from repro.workloads.popularity import zipf_popularity
+from repro.workloads.streams import _check_value_seed
+
+
+def _pop(n=20, rate=6.0):
+    return FilePopulation(
+        sizes=np.full(n, 2e6),
+        popularities=zipf_popularity(n, 1.2),
+        total_rate=rate,
+    )
+
+
+def _streams():
+    pop = _pop()
+    return [
+        PoissonStream(pop, n_requests=700, seed=3),
+        GoogleStream(pop, total_rate=40.0, horizon=12.0, seed=3),
+        MaterializedStream(poisson_trace(pop, n_requests=300, seed=9)),
+    ]
+
+
+def _concat(stream, chunk_size):
+    times, fids = [], []
+    for t, f in stream.chunks(chunk_size):
+        assert t.size == f.size
+        times.append(t)
+        fids.append(f)
+    return np.concatenate(times), np.concatenate(fids)
+
+
+@pytest.mark.parametrize("stream", _streams(), ids=lambda s: type(s).__name__)
+def test_two_passes_are_identical(stream):
+    t1, f1 = _concat(stream, 128)
+    t2, f2 = _concat(stream, 128)
+    assert np.array_equal(t1, t2)
+    assert np.array_equal(f1, f2)
+
+
+@pytest.mark.parametrize("stream", _streams(), ids=lambda s: type(s).__name__)
+@pytest.mark.parametrize("chunk_size", [1, 37, 512, 10_000])
+def test_chunk_size_never_changes_the_draws(stream, chunk_size):
+    t_ref, f_ref = _concat(stream, 100_000)
+    t, f = _concat(stream, chunk_size)
+    assert np.array_equal(t, t_ref)
+    assert np.array_equal(f, f_ref)
+
+
+@pytest.mark.parametrize("stream", _streams(), ids=lambda s: type(s).__name__)
+def test_materialize_equals_chunked_pass(stream):
+    trace = stream.materialize()
+    t, f = _concat(stream, 101)
+    assert np.array_equal(trace.times, t)
+    assert np.array_equal(trace.file_ids, f)
+    assert trace.n_requests == stream.n_requests == t.size
+
+
+def test_poisson_stream_matches_eager_builder():
+    pop = _pop()
+    eager = poisson_trace(pop, n_requests=700, seed=3)
+    lazy = PoissonStream(pop, n_requests=700, seed=3).materialize()
+    assert np.array_equal(eager.times, lazy.times)
+    assert np.array_equal(eager.file_ids, lazy.file_ids)
+
+
+def test_google_stream_matches_eager_builder():
+    pop = _pop()
+    times = GoogleArrivalModel().arrival_times(40.0, horizon=12.0, seed=3)
+    eager = trace_from_times(times, pop, seed=3)
+    lazy = GoogleStream(pop, total_rate=40.0, horizon=12.0, seed=3)
+    mat = lazy.materialize()
+    assert np.array_equal(eager.times, mat.times)
+    assert np.array_equal(eager.file_ids, mat.file_ids)
+
+
+def _worker_digest(kind: str, chunk_size: int) -> str:
+    """Module-level (picklable) worker: hash one full pass of a stream."""
+    import hashlib
+
+    import numpy as np
+
+    from repro.workloads import GoogleStream, PoissonStream
+    from repro.workloads.popularity import zipf_popularity
+    from repro.common import FilePopulation
+
+    pop = FilePopulation(
+        sizes=np.full(20, 2e6),
+        popularities=zipf_popularity(20, 1.2),
+        total_rate=6.0,
+    )
+    if kind == "poisson":
+        stream = PoissonStream(pop, n_requests=700, seed=3)
+    else:
+        stream = GoogleStream(pop, total_rate=40.0, horizon=12.0, seed=3)
+    # Separate digests per column: a combined hash would depend on how
+    # the chunk boundaries interleave times with file ids.
+    d_times, d_fids = hashlib.sha1(), hashlib.sha1()
+    for t, f in stream.chunks(chunk_size):
+        d_times.update(np.ascontiguousarray(t).tobytes())
+        d_fids.update(np.ascontiguousarray(f).tobytes())
+    return d_times.hexdigest() + d_fids.hexdigest()
+
+
+@pytest.mark.parametrize("kind", ["poisson", "google"])
+def test_streams_are_deterministic_across_worker_processes(kind):
+    """--jobs N replay: every worker sees the same draws as this process."""
+    local = _worker_digest(kind, 256)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        remote = list(pool.map(_worker_digest, [kind, kind], [256, 97]))
+    assert remote == [local, local]
+
+
+def test_fingerprints_key_on_content():
+    pop = _pop()
+    a = PoissonStream(pop, n_requests=700, seed=3)
+    b = PoissonStream(pop, n_requests=700, seed=3)
+    c = PoissonStream(pop, n_requests=700, seed=4)
+    d = PoissonStream(pop, n_requests=701, seed=3)
+    assert a.fingerprint() == b.fingerprint()
+    assert len({a.fingerprint(), c.fingerprint(), d.fingerprint()}) == 3
+    g = GoogleStream(pop, total_rate=40.0, horizon=12.0, seed=3)
+    assert g.fingerprint() != a.fingerprint()
+
+
+def test_generator_seeds_are_rejected():
+    """A Generator seed would be consumed by the first pass — replay
+    would silently diverge, so streams refuse it up front."""
+    pop = _pop()
+    rng = np.random.default_rng(0)
+    with pytest.raises(TypeError, match="seed"):
+        PoissonStream(pop, n_requests=10, seed=rng)
+    with pytest.raises(TypeError, match="seed"):
+        GoogleStream(pop, total_rate=1.0, horizon=1.0, seed=rng)
+    with pytest.raises(TypeError, match="seed"):
+        _check_value_seed(rng)
+
+
+def test_is_stream_and_as_trace():
+    pop = _pop()
+    stream = PoissonStream(pop, n_requests=50, seed=1)
+    trace = poisson_trace(pop, n_requests=50, seed=1)
+    assert is_stream(stream)
+    assert not is_stream(trace)
+    assert not is_stream(object())
+    assert as_trace(trace) is trace
+    out = as_trace(stream)
+    assert np.array_equal(out.times, trace.times)
+    assert np.array_equal(out.file_ids, trace.file_ids)
+
+
+def test_bad_chunk_sizes_raise():
+    pop = _pop()
+    stream = PoissonStream(pop, n_requests=10, seed=0)
+    for bad in (0, -1, 2.5):
+        with pytest.raises(ValueError):
+            list(stream.chunks(bad))
