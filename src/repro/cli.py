@@ -15,7 +15,15 @@ Subcommands
 ``stats``
     Replay a JSONL trace into per-server load vectors, an optional load
     timeline, a per-scheme summary table, and the per-scheme end-of-run
-    metric snapshots (``METRIC_SNAPSHOT_KEYS`` ordering).
+    metric snapshots (``METRIC_SNAPSHOT_KEYS`` ordering).  Traced SLO
+    breach/recovery events render as an alert table; ``--slo SPEC``
+    re-evaluates the trace post hoc; ``--format openmetrics`` emits the
+    snapshots as a Prometheus/OpenMetrics text exposition.
+``dash``
+    Render the cluster health board — per-server load bars, latency
+    percentiles, hot keys, SLO budgets, and active alerts — from a run
+    manifest, a JSONL trace (``--follow`` tails a live one), or JSONL
+    on stdin.  ``--plain`` suppresses terminal clear codes for CI.
 ``timeline``
     Render a manifest's sim-time timeline sections as sparkline tables
     (bytes/window, busiest-server busy fraction, queue depth, windowed
@@ -36,7 +44,9 @@ Subcommands
 ``report``
     Aggregate run manifests into a markdown summary; ``--diff BASE``
     compares against a baseline manifest set and exits non-zero on
-    wall-time or metric regressions (the CI gate).
+    wall-time or metric regressions (the CI gate).  ``--format
+    openmetrics`` renders every manifest's metrics snapshot as one
+    exposition with per-sample ``experiment`` labels.
 
 ``simulate`` and ``compare`` accept ``--seed`` (reproducible runs),
 ``--json`` (machine-parseable output), ``--trace PATH`` (record the
@@ -68,19 +78,31 @@ from repro.cluster import (
     simulate_reads,
 )
 from repro.common import MB, ClusterSpec, Gbps
+from repro.obs import events as ev
 from repro.core import optimal_scale_factor, partition_counts
 from repro.cluster.network import GoodputModel
 from repro.obs import (
+    DashBoard,
     FileSink,
     HeadSamplingSink,
     Tracer,
+    dash_from_manifest,
     event_counts,
+    follow_lines,
     load_events,
     load_manifest_dir,
     load_timeline,
     metrics_snapshots,
+    parse_json_lines,
+    parse_slo,
+    parse_snapshot_key,
     per_server_loads,
     popularity_from_trace,
+    render_frame,
+    render_snapshot_key,
+    render_snapshot_openmetrics,
+    slo_from_trace,
+    snapshots_to_openmetrics,
     sparkline,
     tail_attribution_rows,
     timeline_series_rows,
@@ -396,6 +418,14 @@ def _cmd_stats(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.format == "openmetrics":
+        snapshots = metrics_snapshots(events)
+        if not snapshots:
+            print("no metric snapshots in trace", file=sys.stderr)
+            return 1
+        print(snapshots_to_openmetrics(snapshots), end="")
+        return 0
+
     summary_rows = trace_summary(events)
     if not summary_rows:
         print("no read events in trace", file=sys.stderr)
@@ -450,6 +480,54 @@ def _cmd_stats(args) -> int:
             print()
             _print_rows(
                 list(snapshots.values()), args, title="metrics snapshot"
+            )
+
+    # SLO breach/recovery events recorded by the run itself (a traced
+    # run with SLO evaluation enabled emits them through its tracer).
+    slo_event_rows = [
+        {
+            "event": r["event"],
+            "scheme": r.get("scheme", "?"),
+            "objective": r.get("objective", "?"),
+            "severity": r.get("severity", "?"),
+            "t": r.get("ts", "-"),
+            "burn": r.get("burn", "-"),
+        }
+        for r in events
+        if r.get("event") in (ev.SLO_BREACH, ev.SLO_RECOVERED)
+    ]
+    if slo_event_rows:
+        payload["slo_events"] = slo_event_rows
+        if not args.json:
+            print()
+            _print_rows(slo_event_rows, args, title="SLO alerts (traced)")
+
+    if args.slo is not None:
+        # Post-hoc burn-rate evaluation of the trace's read stream
+        # against the given objectives (see `repro.obs.slo.parse_slo`).
+        try:
+            slo_config = parse_slo(args.slo)
+        except ValueError as exc:
+            print(f"bad --slo spec: {exc}", file=sys.stderr)
+            return 2
+        slo_rows = [
+            {
+                "scheme": section["scheme"],
+                "objective": obj["name"],
+                "met": "yes" if obj["met"] else "NO",
+                "bad_frac": obj["bad_fraction"],
+                "budget": obj["budget"],
+                "budget_left": obj["budget_remaining"],
+                "breaches": obj["breaches"],
+            }
+            for section in slo_from_trace(events, slo_config)
+            for obj in section["objectives"]
+        ]
+        payload["slo"] = slo_rows
+        if not args.json:
+            print()
+            _print_rows(
+                slo_rows, args, title=f"SLO evaluation: {args.slo}"
             )
 
     counts = event_counts(events)
@@ -770,6 +848,86 @@ def _cmd_watch(args) -> int:
         _time.sleep(args.interval)
 
 
+def _dash_board_from_file(path: str) -> "DashBoard | None":
+    """A board from a run-manifest JSON file or a JSONL event trace.
+
+    A file that parses as one JSON object with manifest-shaped keys goes
+    through :func:`dash_from_manifest`; anything else is replayed as a
+    JSONL trace.  Reports failure to stderr and returns ``None``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        print(f"no such file: {path}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError:
+        doc = None  # multi-line JSONL trace — replay decides below
+    if isinstance(doc, dict) and "event" not in doc:
+        return dash_from_manifest(doc)
+    board = DashBoard()
+    try:
+        board.feed_many(load_events(path))
+    except (OSError, ValueError):
+        print(
+            f"{path} holds neither a run manifest nor a JSONL trace",
+            file=sys.stderr,
+        )
+        return None
+    return board
+
+
+def _print_frame(board, args) -> None:
+    if sys.stdout.isatty() and not args.plain:
+        print("\x1b[2J\x1b[H", end="")
+    print(render_frame(board, k=args.k), end="")
+
+
+def _cmd_dash(args) -> int:
+    """Render the cluster health board from a manifest, trace, or stdin."""
+    import time as _time
+
+    if args.source == "-":
+        board = DashBoard()
+        board.feed_many(parse_json_lines(sys.stdin))
+        _print_frame(board, args)
+        return 0
+
+    if not args.follow:
+        board = _dash_board_from_file(args.source)
+        if board is None:
+            return 2
+        _print_frame(board, args)
+        return 0
+
+    # --follow: tail the growing JSONL trace, re-rendering a frame at
+    # most every --interval seconds as records arrive; stop after
+    # --idle-limit seconds without growth (and render a final frame).
+    try:
+        lines = follow_lines(
+            args.source,
+            poll_s=min(args.interval, 0.5),
+            idle_limit=args.idle_limit,
+        )
+        board = DashBoard()
+        frames = 0
+        last_render = float("-inf")
+        for record in parse_json_lines(lines):
+            board.feed(record)
+            now = _time.monotonic()
+            if now - last_render >= args.interval:
+                _print_frame(board, args)
+                last_render = now
+                frames += 1
+                if args.frames and frames >= args.frames:
+                    return 0
+    except FileNotFoundError:
+        print(f"no such trace file: {args.source}", file=sys.stderr)
+        return 2
+    _print_frame(board, args)
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.run_all import main as run_all_main
 
@@ -785,6 +943,8 @@ def _cmd_experiments(args) -> int:
     ]
     if args.batch_size is not None:
         forwarded += ["--batch-size", str(args.batch_size)]
+    if args.slo is not None:
+        forwarded += ["--slo", args.slo]
     if args.trace:
         forwarded += ["--trace", args.trace]
     if args.chrome_trace:
@@ -817,6 +977,29 @@ def _cmd_report(args) -> int:
         return 2
 
     if args.diff is None:
+        if args.format == "openmetrics":
+            # One exposition across all manifests: every sample gains an
+            # `experiment` label so families merge without collisions.
+            merged: dict = {}
+            for name in sorted(manifests):
+                snapshot = manifests[name].get("metrics") or {}
+                for key, value in snapshot.items():
+                    try:
+                        metric, labels = parse_snapshot_key(key)
+                    except ValueError:
+                        continue
+                    labels["experiment"] = name
+                    merged[render_snapshot_key(metric, labels)] = value
+            text = render_snapshot_openmetrics(merged)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                print(
+                    f"openmetrics: {len(manifests)} manifest(s) -> {args.out}"
+                )
+            else:
+                print(text, end="")
+            return 0
         if args.json:
             print(json.dumps(manifests, indent=2, default=str))
         else:
@@ -936,6 +1119,20 @@ def main(argv: list[str] | None = None) -> int:
     p_sts.add_argument(
         "--json", action="store_true", help="machine-parseable JSON output"
     )
+    p_sts.add_argument(
+        "--format", choices=("table", "openmetrics"), default="table",
+        help=(
+            "'openmetrics' prints the trace's end-of-run metric "
+            "snapshots as a Prometheus/OpenMetrics text exposition"
+        ),
+    )
+    p_sts.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help=(
+            "re-evaluate the trace against SLO objectives, e.g. "
+            "'p99<0.05,imbalance<3' (see docs/observability.md)"
+        ),
+    )
     p_sts.set_defaults(func=_cmd_stats)
 
     p_tml = sub.add_parser(
@@ -1007,6 +1204,46 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_watch.set_defaults(func=_cmd_watch)
 
+    p_dash = sub.add_parser(
+        "dash",
+        help="cluster health board: load bars, hot keys, SLO alerts",
+    )
+    p_dash.add_argument(
+        "source",
+        help=(
+            "run manifest JSON, JSONL event trace, or '-' for JSONL "
+            "records on stdin"
+        ),
+    )
+    p_dash.add_argument(
+        "--follow", action="store_true",
+        help="tail a growing JSONL trace and re-render as records arrive",
+    )
+    p_dash.add_argument(
+        "--interval", type=float, default=2.0, metavar="SEC",
+        help="minimum seconds between frames with --follow (default 2)",
+    )
+    p_dash.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="with --follow, stop after N frames (default 0 = forever)",
+    )
+    p_dash.add_argument(
+        "--idle-limit", type=float, default=None, dest="idle_limit",
+        metavar="SEC",
+        help=(
+            "with --follow, stop once the trace stops growing for SEC "
+            "seconds (default: follow forever)"
+        ),
+    )
+    p_dash.add_argument(
+        "--k", type=int, default=5, help="hot files per scheme (default 5)"
+    )
+    p_dash.add_argument(
+        "--plain", action="store_true",
+        help="never emit terminal clear codes (CI / non-TTY frame mode)",
+    )
+    p_dash.set_defaults(func=_cmd_dash)
+
     p_exp = sub.add_parser("experiments", help="regenerate evaluation tables")
     p_exp.add_argument(
         "--only", default=None, metavar="NAMES",
@@ -1027,6 +1264,13 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "vectorized planning batch size for batchable experiments "
             "(bit-exact vs scalar; unset runs the scalar engine)"
+        ),
+    )
+    p_exp.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help=(
+            "SLO objectives for every experiment, e.g. "
+            "'p99<0.05,imbalance<3' (default: the loose built-in set)"
         ),
     )
     p_exp.add_argument("--out", default="results")
@@ -1057,6 +1301,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_rep.add_argument(
         "--json", action="store_true", help="machine-parseable JSON output"
+    )
+    p_rep.add_argument(
+        "--format", choices=("markdown", "openmetrics"), default="markdown",
+        help=(
+            "'openmetrics' renders every manifest's metrics snapshot as "
+            "one Prometheus/OpenMetrics exposition (samples labelled by "
+            "experiment); ignored with --diff"
+        ),
     )
     p_rep.add_argument(
         "--wall-tolerance", type=float, default=WALL_TOLERANCE,

@@ -40,6 +40,12 @@ from repro.obs.popularity import (
     get_popularity_config,
     publish_popularity,
 )
+from repro.obs.slo import (
+    SLOConfig,
+    SLOMonitor,
+    get_slo_config,
+    publish_slo,
+)
 from repro.obs.timeline import (
     TimelineCollector,
     TimelineConfig,
@@ -170,6 +176,11 @@ class SimulationConfig:
     tracer: Tracer | None = None
     timeline: TimelineConfig | None = None
     popularity: PopularityConfig | None = None
+    #: Declarative SLO evaluation (:mod:`repro.obs.slo`) for this run;
+    #: ``None`` falls back to the ambient
+    #: :func:`repro.obs.slo.get_slo_config`, itself a no-op unless
+    #: installed.
+    slo: SLOConfig | None = None
     #: Requests per planned batch for the vectorized planning layer
     #: (:mod:`repro.cluster.engine.batch`).  ``None`` falls back to the
     #: ambient :func:`repro.cluster.engine.batch.get_batch_size`, itself
@@ -204,6 +215,11 @@ class SimulationConfig:
             raise TypeError(
                 f"popularity must be a PopularityConfig or None, "
                 f"got {type(self.popularity).__name__}"
+            )
+        if self.slo is not None and not isinstance(self.slo, SLOConfig):
+            raise TypeError(
+                f"slo must be an SLOConfig or None, "
+                f"got {type(self.slo).__name__}"
             )
         if self.batch_size is not None:
             if not isinstance(self.batch_size, int) or isinstance(
@@ -241,6 +257,9 @@ class SimulationResult:
     #: had popularity observation enabled) — see
     #: :mod:`repro.obs.popularity`.
     popularity: dict | None = None
+    #: Finalized SLO section (``None`` unless the run had SLO
+    #: evaluation enabled) — see :mod:`repro.obs.slo`.
+    slo: dict | None = None
 
     @property
     def n_requests(self) -> int:
@@ -390,6 +409,23 @@ class RequestLifecycle:
         )
         #: Hoisted popularity check — disabled observation must stay free.
         self.track = self.popularity is not None
+        slo_config = config.slo if config.slo is not None else get_slo_config()
+        self.slo_monitor: SLOMonitor | None = (
+            SLOMonitor(
+                slo_config,
+                scheme=self.scheme,
+                engine=engine,
+                tracer=self.tracer,
+            )
+            if slo_config is not None
+            else None
+        )
+        #: Hot-path miss log (one bool per request, arrival order) the
+        #: SLO evaluator buckets at finalize time; ``None`` keeps
+        #: :meth:`admit` free when evaluation is disabled.
+        self._slo_miss: list[bool] | None = (
+            self.slo_monitor.miss_log if self.slo_monitor is not None else None
+        )
         # Memoize goodput factors: parallelism is a small integer and
         # bandwidth comes from a short array, so this avoids one
         # interpolation per (fan-out, server-speed) pair.
@@ -463,15 +499,23 @@ class RequestLifecycle:
     # -- cache admission ----------------------------------------------
 
     def admit(self, file_id: int) -> bool:
-        """LRU touch/put under the cache budget; ``True`` means a miss."""
-        if self.lru is None:
-            return False
-        if self.lru.touch(file_id):
-            self.hits += 1
-            return False
-        self.misses += 1
-        self.lru.put(file_id, self.planner.footprint(file_id))
-        return True
+        """LRU touch/put under the cache budget; ``True`` means a miss.
+
+        Called once per request in arrival order by every discipline, so
+        it doubles as the SLO miss-flag hook: the only enabled-path cost
+        is one list append (the evaluator buckets at finalize time).
+        """
+        missed = False
+        if self.lru is not None:
+            if self.lru.touch(file_id):
+                self.hits += 1
+            else:
+                self.misses += 1
+                self.lru.put(file_id, self.planner.footprint(file_id))
+                missed = True
+        if self._slo_miss is not None:
+            self._slo_miss.append(missed)
+        return missed
 
     # -- join accounting ----------------------------------------------
 
@@ -565,6 +609,16 @@ class RequestLifecycle:
         if self.popularity is not None:
             popularity = self.popularity.finalize()
             publish_popularity(popularity)
+        slo = None
+        if self.slo_monitor is not None:
+            slo = self.slo_monitor.evaluate(
+                self.trace.times,
+                latencies,
+                missed=self._slo_miss if self.lru is not None else None,
+                server_bytes=server_bytes,
+                popularity=popularity,
+            )
+            publish_slo(slo)
         return SimulationResult(
             latencies=latencies,
             arrival_times=self.trace.times.copy(),
@@ -576,6 +630,7 @@ class RequestLifecycle:
             metrics=metrics,
             timeline=timeline,
             popularity=popularity,
+            slo=slo,
         )
 
     def _emit_timeline_windows(self, timeline: dict) -> None:

@@ -54,6 +54,7 @@ from repro.analysis.tables import format_table
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.popularity import collect_popularity
 from repro.obs.runinfo import build_manifest, write_manifest
+from repro.obs.slo import collect_slo, default_slo_config, parse_slo, use_slo
 from repro.obs.spans import (
     SpanCollector,
     collect_spans,
@@ -80,7 +81,11 @@ __all__ = ["main", "run_experiment"]
 
 
 def run_experiment(
-    name: str, scale: float = 1.0, batch_size: int | None = None, **params
+    name: str,
+    scale: float = 1.0,
+    batch_size: int | None = None,
+    slo: str | None = None,
+    **params,
 ) -> tuple[list[dict], dict]:
     """Run one registered experiment under the shared telemetry wrapper.
 
@@ -95,33 +100,41 @@ def run_experiment(
     sweep parameters (``run_experiment("fig12", rate=22.0)``).
     ``batch_size`` installs an ambient vectorized batch size for
     batchable specs (see :meth:`ExperimentSpec.run`); the value used is
-    recorded in the manifest's config.
+    recorded in the manifest's config.  ``slo`` is a compact objective
+    spec (``"p99<0.02,miss<0.5"``, see :func:`repro.obs.slo.parse_slo`);
+    ``None`` installs the loose :func:`~repro.obs.slo.default_slo_config`
+    so every experiment's runs are judged (quietly, when healthy) and
+    the resulting sections land in the manifest's ``slo`` list.
     """
     spec = get_spec(name)
+    slo_config = parse_slo(slo) if slo is not None else default_slo_config()
     collector = SpanCollector()
     registry = MetricsRegistry()
     timelines: list[dict] = []
     popularity: list[dict] = []
+    slo_sections: list[dict] = []
     previous = set_registry(registry)
     try:
         with collect_spans(collector):
-            # Popularity sections are collected unconditionally: runs
-            # only publish them when a config opts in, so the sink is
-            # free for every other experiment.
-            with collect_popularity(popularity):
-                with span("experiment", experiment=spec.name):
-                    if spec.timeline:
-                        with collect_timelines(timelines):
-                            with use_timeline(TimelineConfig()):
-                                rows = spec.run(
-                                    scale=scale,
-                                    batch_size=batch_size,
-                                    **params,
-                                )
-                    else:
-                        rows = spec.run(
-                            scale=scale, batch_size=batch_size, **params
-                        )
+            # Popularity/SLO sections are collected unconditionally:
+            # runs only publish them when a config opts in (the ambient
+            # SLO config below opts every simulated run in), so the
+            # sinks are free for every other experiment.
+            with collect_popularity(popularity), collect_slo(slo_sections):
+                with use_slo(slo_config):
+                    with span("experiment", experiment=spec.name):
+                        if spec.timeline:
+                            with collect_timelines(timelines):
+                                with use_timeline(TimelineConfig()):
+                                    rows = spec.run(
+                                        scale=scale,
+                                        batch_size=batch_size,
+                                        **params,
+                                    )
+                        else:
+                            rows = spec.run(
+                                scale=scale, batch_size=batch_size, **params
+                            )
     finally:
         set_registry(previous)
     roots = [r for r in collector.roots() if r.name == "experiment"]
@@ -133,6 +146,7 @@ def run_experiment(
         "timing_rows": spec.timing_rows,
         "timelines": spec.timeline,
         "batch_size": batch_size if spec.batchable else None,
+        "slo": slo,
         "params": {k: repr(v) for k, v in sorted(params.items())},
         "spec": spec.describe(),
         "defaults": defaults_dict(),
@@ -148,6 +162,7 @@ def run_experiment(
         metrics=registry.snapshot(),
         timelines=timelines,
         popularity=popularity,
+        slo=slo_sections,
     )
     return rows, manifest
 
@@ -171,6 +186,7 @@ def _run_serial(
     session_spans: SpanCollector,
     session_timelines: list[dict],
     batch_size: int | None = None,
+    slo: str | None = None,
 ) -> None:
     # The outer timeline sink sees every section the per-experiment sinks
     # do (sinks nest), so ``--chrome-trace`` can add counter tracks for
@@ -178,19 +194,24 @@ def _run_serial(
     with collect_spans(session_spans), collect_timelines(session_timelines):
         for name in names:
             rows, manifest = run_experiment(
-                name, scale=scale, batch_size=batch_size
+                name, scale=scale, batch_size=batch_size, slo=slo
             )
             _write_result(name, rows, manifest, outdir)
 
 
 def _pool_run(
-    name: str, scale: float, batch_size: int | None = None
+    name: str,
+    scale: float,
+    batch_size: int | None = None,
+    slo: str | None = None,
 ) -> tuple[str, list[dict], dict]:
     """Process-pool worker: one experiment, full telemetry wrapper."""
     from repro.experiments.registry import load_all
 
     load_all()  # spawn-start workers import this module fresh
-    rows, manifest = run_experiment(name, scale=scale, batch_size=batch_size)
+    rows, manifest = run_experiment(
+        name, scale=scale, batch_size=batch_size, slo=slo
+    )
     return name, rows, manifest
 
 
@@ -200,6 +221,7 @@ def _run_parallel(
     outdir: pathlib.Path,
     jobs: int,
     batch_size: int | None = None,
+    slo: str | None = None,
 ) -> None:
     """Fan the pass out over a process pool; emit in registry order.
 
@@ -209,7 +231,7 @@ def _run_parallel(
     results: dict[str, tuple[list[dict], dict]] = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
         futures = {
-            pool.submit(_pool_run, name, scale, batch_size): name
+            pool.submit(_pool_run, name, scale, batch_size, slo): name
             for name in names
         }
         for future in as_completed(futures):
@@ -246,6 +268,14 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "vectorized planning batch size for batchable experiments "
             "(bit-exact vs scalar; unset runs the scalar engine)"
+        ),
+    )
+    parser.add_argument(
+        "--slo", type=str, default=None, metavar="SPEC",
+        help=(
+            "SLO objectives every experiment is judged against, e.g. "
+            "'p99<0.02,miss<0.5,imbalance<3' (unset uses loose defaults "
+            "that stay quiet on healthy runs)"
         ),
     )
     parser.add_argument("--out", type=str, default="results")
@@ -286,9 +316,17 @@ def main(argv: list[str] | None = None) -> int:
         print("--batch-size must be >= 1", file=sys.stderr)
         return 2
 
+    if args.slo is not None:
+        try:
+            parse_slo(args.slo)  # fail fast before any experiment runs
+        except ValueError as exc:
+            print(f"--slo: {exc}", file=sys.stderr)
+            return 2
+
     if args.jobs > 1:
         _run_parallel(
-            names, args.scale, outdir, args.jobs, batch_size=args.batch_size
+            names, args.scale, outdir, args.jobs,
+            batch_size=args.batch_size, slo=args.slo,
         )
         return 0
 
@@ -301,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
                 _run_serial(
                     names, args.scale, outdir, session_spans,
                     session_timelines, batch_size=args.batch_size,
+                    slo=args.slo,
                 )
         finally:
             sink.close()
@@ -310,7 +349,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         _run_serial(
             names, args.scale, outdir, session_spans, session_timelines,
-            batch_size=args.batch_size,
+            batch_size=args.batch_size, slo=args.slo,
         )
 
     if args.chrome_trace:

@@ -32,21 +32,49 @@ Cooperating pieces (each documented in its module, schema tables in
 :mod:`repro.obs.runinfo`
     Schema-versioned run manifests (``results/<exp>.json``): provenance,
     structured rows, per-span wall times, final metrics snapshot, and
-    any timeline or popularity sections the run published.
+    any timeline, popularity, or SLO sections the run published.
 :mod:`repro.obs.report`
     Aggregate manifests into markdown and diff two manifest sets for
     wall-time/metric regressions (``python -m repro report``).
+:mod:`repro.obs.export`
+    OpenMetrics/Prometheus text exposition of registries, manifest
+    snapshots, and trace snapshots, plus per-window rate derivation
+    (``SnapshotDeltaSource``) — the scrape surface.
+:mod:`repro.obs.slo`
+    Declarative service-level objectives with multi-window
+    multi-burn-rate alerting; sections land in schema-v5 manifests and
+    breach/recovery events in the trace stream.
+:mod:`repro.obs.dash`
+    Fold trace events or manifests into a renderable cluster health
+    board (``python -m repro dash``).
 
 :mod:`repro.obs.events` pins the event-name vocabulary.
 """
 
 from repro.obs import events
+from repro.obs.dash import (
+    DashBoard,
+    dash_from_manifest,
+    follow_lines,
+    parse_json_lines,
+    render_frame,
+)
+from repro.obs.export import (
+    SnapshotDeltaSource,
+    parse_openmetrics,
+    render_openmetrics,
+    render_snapshot_openmetrics,
+    snapshots_to_openmetrics,
+    timeline_rates,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
+    parse_snapshot_key,
+    render_snapshot_key,
     reset_registry,
     set_registry,
 )
@@ -89,6 +117,21 @@ from repro.obs.runinfo import (
     validate_manifest,
     write_manifest,
 )
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    SLO_SCHEMA_VERSION,
+    SLOConfig,
+    SLObjective,
+    SLOMonitor,
+    collect_slo,
+    default_slo_config,
+    get_slo_config,
+    parse_objective,
+    parse_slo,
+    publish_slo,
+    slo_from_trace,
+    use_slo,
+)
 from repro.obs.spans import (
     SpanCollector,
     SpanRecord,
@@ -130,6 +173,8 @@ from repro.obs.tracing import (
 __all__ = [
     "CountMinSketch",
     "Counter",
+    "DEFAULT_OBJECTIVES",
+    "DashBoard",
     "FileSink",
     "Gauge",
     "HeadSamplingSink",
@@ -142,7 +187,12 @@ __all__ = [
     "PopularityConfig",
     "PopularityMonitor",
     "RingBufferSink",
+    "SLO_SCHEMA_VERSION",
+    "SLOConfig",
+    "SLObjective",
+    "SLOMonitor",
     "SUPPORTED_SCHEMA_VERSIONS",
+    "SnapshotDeltaSource",
     "SpaceSavingTopK",
     "SpanCollector",
     "SpanRecord",
@@ -154,14 +204,19 @@ __all__ = [
     "chrome_counter_events",
     "chrome_trace",
     "collect_popularity",
+    "collect_slo",
     "collect_spans",
     "collect_timelines",
     "config_hash",
     "current_span_id",
+    "dash_from_manifest",
+    "default_slo_config",
     "event_counts",
     "events",
+    "follow_lines",
     "get_popularity_config",
     "get_registry",
+    "get_slo_config",
     "get_timeline_config",
     "get_tracer",
     "git_sha",
@@ -172,30 +227,44 @@ __all__ = [
     "load_manifest_dir",
     "load_timeline",
     "metrics_snapshots",
+    "parse_json_lines",
+    "parse_objective",
+    "parse_openmetrics",
+    "parse_slo",
+    "parse_snapshot_key",
     "peak_rss_bytes",
     "per_server_loads",
     "popularity_from_trace",
     "profile",
     "profiled",
     "publish_popularity",
+    "publish_slo",
     "publish_timeline",
+    "render_frame",
+    "render_openmetrics",
+    "render_snapshot_key",
+    "render_snapshot_openmetrics",
     "reset_registry",
     "set_registry",
     "set_tracer",
+    "slo_from_trace",
+    "snapshots_to_openmetrics",
     "span",
     "span_tree",
     "span_wrap",
     "sparkline",
     "tail_attribution_rows",
+    "timeline_rates",
     "timeline_series_rows",
     "total_requests_from_metrics",
     "trace_summary",
     "unknown_events",
     "use_popularity",
+    "use_slo",
     "use_timeline",
     "use_tracer",
     "zipf_alpha_from_counts",
     "validate_manifest",
-    "write_chrome_trace",
     "write_manifest",
+    "write_chrome_trace",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "STORE_EVENTS",
     "CORE_EVENTS",
     "POPULARITY_EVENTS",
+    "SLO_EVENTS",
 ]
 
 # -- simulator (repro.cluster) ------------------------------------------------
@@ -54,6 +55,10 @@ POPULARITY_WINDOW = "popularity_window"  # one window: count, drift, imbalance
 DRIFT = "drift"  # popularity drift alert: weighted L1 / rank churn tripped
 HOTSPOT = "hotspot"  # single-file hot-spot alert: file_id, share
 
+# -- SLO engine (repro.obs.slo) -----------------------------------------------
+SLO_BREACH = "slo_breach"  # burn-rate alert opened: objective, severity, burn
+SLO_RECOVERED = "slo_recovered"  # burn-rate alert closed: objective, severity
+
 # -- spans / profiling (repro.obs.spans) --------------------------------------
 SPAN = "span"  # hierarchical wall-clock span: name, span_id, parent, wall_s
 PROFILE = "profile"  # legacy flat wall-clock span: name, wall_s
@@ -79,12 +84,14 @@ CORE_EVENTS = (
     REPARTITION_TIME,
 )
 POPULARITY_EVENTS = (POPULARITY_WINDOW, DRIFT, HOTSPOT)
+SLO_EVENTS = (SLO_BREACH, SLO_RECOVERED)
 
 EVENT_LAYER: dict[str, str] = {
     **{name: "simulator" for name in SIMULATOR_EVENTS},
     **{name: "store" for name in STORE_EVENTS},
     **{name: "core" for name in CORE_EVENTS},
     **{name: "popularity" for name in POPULARITY_EVENTS},
+    **{name: "slo" for name in SLO_EVENTS},
     SPAN: "profiling",
     PROFILE: "profiling",
 }

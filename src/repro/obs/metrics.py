@@ -38,6 +38,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
     "get_registry",
+    "parse_snapshot_key",
+    "render_snapshot_key",
     "reset_registry",
     "set_registry",
 ]
@@ -53,6 +55,105 @@ LabelKey = tuple[str, tuple[tuple[str, Any], ...]]
 
 def _label_key(name: str, labels: dict[str, Any]) -> LabelKey:
     return name, tuple(sorted(labels.items()))
+
+
+#: Characters in a label value that force the quoted rendering in
+#: :func:`render_snapshot_key` — anything that would collide with the
+#: ``name{k=v,...}`` syntax itself.
+_NEEDS_QUOTING = set(',={}"\n\\')
+
+
+def _render_label_value(value: Any) -> str:
+    """One label value as it appears inside a snapshot key.
+
+    Plain values render bare (``scheme=sp-cache``) so existing keys stay
+    byte-identical; values containing a delimiter (``,``, ``=``, braces,
+    quotes, newlines, backslashes) render as a double-quoted string with
+    backslash escapes, so :func:`parse_snapshot_key` can round-trip them.
+    """
+    s = str(value)
+    if not _NEEDS_QUOTING.intersection(s):
+        return s
+    escaped = (
+        s.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+    return f'"{escaped}"'
+
+
+def render_snapshot_key(name: str, labels: dict[str, Any]) -> str:
+    """The flat ``name{k=v,...}`` key used by :meth:`MetricsRegistry.snapshot`.
+
+    Labels render in sorted order; values that contain key-syntax
+    delimiters are quoted/escaped (see :func:`_render_label_value`).
+    """
+    if not labels:
+        return name
+    rendered = ",".join(
+        f"{k}={_render_label_value(v)}" for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{rendered}}}"
+
+
+def parse_snapshot_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`render_snapshot_key`: ``name{k=v,...}`` -> name + labels.
+
+    Label values come back as strings (the snapshot key does not preserve
+    the original type); quoted values are unescaped.  Raises
+    :class:`ValueError` on malformed keys.
+    """
+    if "{" not in key:
+        if "}" in key:
+            raise ValueError(f"malformed snapshot key {key!r}")
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed snapshot key {key!r}")
+    name, _, body = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.index("=", i)
+        label = body[i:eq]
+        if not label:
+            raise ValueError(f"empty label name in snapshot key {key!r}")
+        i = eq + 1
+        if i < n and body[i] == '"':
+            i += 1
+            out: list[str] = []
+            while True:
+                if i >= n:
+                    raise ValueError(
+                        f"unterminated quoted value in snapshot key {key!r}"
+                    )
+                c = body[i]
+                if c == "\\":
+                    if i + 1 >= n:
+                        raise ValueError(
+                            f"dangling escape in snapshot key {key!r}"
+                        )
+                    nxt = body[i + 1]
+                    out.append({"n": "\n"}.get(nxt, nxt))
+                    i += 2
+                elif c == '"':
+                    i += 1
+                    break
+                else:
+                    out.append(c)
+                    i += 1
+            value = "".join(out)
+            if i < n:
+                if body[i] != ",":
+                    raise ValueError(
+                        f"expected ',' after quoted value in {key!r}"
+                    )
+                i += 1
+        else:
+            end = body.find(",", i)
+            if end == -1:
+                end = n
+            value = body[i:end]
+            i = end + 1
+        labels[label] = value
+    return name, labels
 
 
 class Counter:
@@ -265,7 +366,9 @@ class MetricsRegistry:
         """Flat ``{"name{k=v,...}": value}`` view of the registry.
 
         Counters and gauges map to floats; histograms map to their summary
-        dict (count/sum/mean/p50/p95/p99).
+        dict (count/sum/mean/p50/p95/p99).  Keys render via
+        :func:`render_snapshot_key`, so label values carrying delimiter
+        characters stay parseable with :func:`parse_snapshot_key`.
         """
         out: dict[str, Any] = {}
         for (name, labels), metric in sorted(
@@ -273,12 +376,7 @@ class MetricsRegistry:
         ):
             if not name.startswith(prefix):
                 continue
-            if labels:
-                rendered = ",".join(f"{k}={v}" for k, v in labels)
-                key = f"{name}{{{rendered}}}"
-            else:
-                key = name
-            out[key] = metric.snapshot()
+            out[render_snapshot_key(name, dict(labels))] = metric.snapshot()
         return out
 
 

@@ -93,6 +93,23 @@ def _span_totals(manifest: dict[str, Any]) -> dict[str, float]:
     return dict(sorted(totals.items()))
 
 
+def _peak_rss_mb(manifest: dict[str, Any]) -> Any:
+    """Schema-v4 ``peak_rss_bytes`` as MiB, or ``-`` where unrecorded."""
+    rss = manifest.get("peak_rss_bytes")
+    if rss is None:
+        return "-"
+    return f"{float(rss) / (1024 * 1024):.0f}"
+
+
+def _req_per_s(manifest: dict[str, Any]) -> Any:
+    """Simulated-request throughput: v4 ``total_requests`` over wall_s."""
+    total = manifest.get("total_requests")
+    wall = float(manifest.get("wall_s") or 0.0)
+    if total is None or not total or wall <= 0:
+        return "-"
+    return f"{float(total) / wall:.0f}"
+
+
 def render_report(manifests: dict[str, dict[str, Any]]) -> str:
     """Render a manifest set as one markdown document."""
     lines = ["# Experiment report", ""]
@@ -110,6 +127,8 @@ def render_report(manifests: dict[str, dict[str, Any]]) -> str:
             "experiment": name,
             "rows": len(m["rows"]),
             "wall_s": m["wall_s"],
+            "req_per_s": _req_per_s(m),
+            "peak_rss_mb": _peak_rss_mb(m),
             "spans": len(m["spans"]),
             "scale": m["scale"] if m["scale"] is not None else "-",
             "config": m["config_hash"][:10],
@@ -158,6 +177,22 @@ def render_report(manifests: dict[str, dict[str, Any]]) -> str:
         if pop_rows:
             lines += ["", "Popularity (streaming sketch):", ""]
             lines.append(_markdown_table(pop_rows))
+        slo_rows = [
+            {
+                "scheme": s.get("scheme", "?"),
+                "objective": o.get("name", "?"),
+                "met": "yes" if o.get("met") else "NO",
+                "bad_fraction": o.get("bad_fraction", 0.0),
+                "budget": o.get("budget", "-"),
+                "budget_left": o.get("budget_remaining", "-"),
+                "breaches": o.get("breaches", 0),
+            }
+            for s in m.get("slo") or []
+            for o in s.get("objectives", ())
+        ]
+        if slo_rows:
+            lines += ["", "SLOs (burn-rate evaluation):", ""]
+            lines.append(_markdown_table(slo_rows))
     return "\n".join(lines) + "\n"
 
 

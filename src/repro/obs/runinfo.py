@@ -9,10 +9,10 @@ mechanically.  ``repro report`` (:mod:`repro.obs.report`) aggregates and
 diffs these files; CI uploads them as artifacts so the perf trajectory
 accumulates.
 
-Schema (version 4) — one flat JSON object:
+Schema (version 5) — one flat JSON object:
 
 ===================  ==========================================================
-``schema_version``   ``4``
+``schema_version``   ``5``
 ``experiment``       experiment name (``fig10``, ``theorem1``, ...)
 ``created_unix``     ``time.time()`` at manifest build
 ``git_sha``          ``git rev-parse HEAD`` or ``None`` outside a checkout
@@ -46,10 +46,15 @@ Schema (version 4) — one flat JSON object:
 ``total_requests``   total simulated requests across the experiment's
                      runs (summed from the ``sim.requests`` counters in
                      the metrics snapshot).  New in version 4.
+``slo``              SLO evaluation sections published during the run
+                     (:mod:`repro.obs.slo`): per-objective budget
+                     accounting plus burn-rate breach/recovery alerts.
+                     Empty list when the run evaluated none.  New in
+                     version 5.
 ===================  ==========================================================
 
-Older manifests still load: readers treat a missing ``timelines`` (v1)
-or ``popularity`` (v1/v2) as an empty list, and missing
+Older manifests still load: readers treat a missing ``timelines`` (v1),
+``popularity`` (v1/v2), or ``slo`` (v1-v4) as an empty list, and missing
 ``peak_rss_bytes``/``total_requests`` (v1-v3) as unknown.
 
 :func:`validate_manifest` enforces this shape; :func:`load_manifest`
@@ -81,10 +86,10 @@ __all__ = [
     "write_manifest",
 ]
 
-MANIFEST_SCHEMA_VERSION = 4
+MANIFEST_SCHEMA_VERSION = 5
 
 #: schema versions this build can read.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 #: required key -> accepted types (``None`` entries listed explicitly).
 _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
@@ -108,6 +113,7 @@ _VERSIONED_FIELDS: dict[str, tuple[int, tuple[type, ...]]] = {
     "popularity": (3, (list,)),
     "peak_rss_bytes": (4, (int, float, type(None))),
     "total_requests": (4, (int,)),
+    "slo": (5, (list,)),
 }
 
 
@@ -188,6 +194,7 @@ def build_manifest(
     metrics: dict[str, Any] | None = None,
     timelines: Iterable[dict[str, Any]] = (),
     popularity: Iterable[dict[str, Any]] = (),
+    slo: Iterable[dict[str, Any]] = (),
     peak_rss: int | None = None,
     total_requests: int | None = None,
 ) -> dict[str, Any]:
@@ -195,8 +202,9 @@ def build_manifest(
 
     ``spans`` accepts :class:`~repro.obs.spans.SpanRecord` objects or
     plain dicts; ``config`` is hashed with :func:`config_hash`;
-    ``timelines`` takes sections from :mod:`repro.obs.timeline` and
-    ``popularity`` sections from :mod:`repro.obs.popularity`.
+    ``timelines`` takes sections from :mod:`repro.obs.timeline`,
+    ``popularity`` sections from :mod:`repro.obs.popularity`, and
+    ``slo`` sections from :mod:`repro.obs.slo`.
     ``peak_rss`` defaults to :func:`peak_rss_bytes` measured at build
     time; ``total_requests`` defaults to summing the ``sim.requests``
     counters in ``metrics``.
@@ -222,6 +230,7 @@ def build_manifest(
         "metrics": metrics,
         "timelines": [dict(t) for t in timelines],
         "popularity": [dict(p) for p in popularity],
+        "slo": [dict(s) for s in slo],
         "peak_rss_bytes": peak_rss,
         "total_requests": int(total_requests),
     }
@@ -291,6 +300,11 @@ def validate_manifest(manifest: Any) -> dict[str, Any]:
             raise ValueError(
                 f"manifest popularity section {i} must be an object "
                 "with a scheme"
+            )
+    for i, section in enumerate(manifest.get("slo", ())):
+        if not isinstance(section, dict) or "scheme" not in section:
+            raise ValueError(
+                f"manifest slo section {i} must be an object with a scheme"
             )
     return manifest
 

@@ -210,6 +210,7 @@ class Master:
     def record_access(self, file_id: int) -> None:
         """Bump the access counter (done on every read, Sec. 6.1)."""
         self._files[file_id].access_count += 1
+        get_registry().counter("master.reads").inc()
         if self.popularity is not None:
             self.popularity.observe(file_id)
 

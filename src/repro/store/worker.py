@@ -21,6 +21,13 @@ from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.store.lru import LRUCache
 
+#: Bucket ladder for block-size histograms: powers of four from 1 KiB to
+#: 1 GiB (the default seconds-scale ladder would funnel every block into
+#: the overflow bucket).
+BLOCK_BYTES_BUCKETS: tuple[float, ...] = tuple(
+    float(1024 * 4**i) for i in range(11)
+)
+
 __all__ = ["BlockNotFound", "Worker"]
 
 BlockKey = tuple[int, int]
@@ -103,9 +110,19 @@ class Worker:
         """Store a block; returns keys evicted to make room."""
         key = (file_id, index)
         self._blocks[key] = bytes(data)
-        get_registry().counter(
-            "store.bytes_stored", worker_id=self.worker_id
-        ).inc(len(data))
+        reg = get_registry()
+        reg.counter("store.bytes_stored", worker_id=self.worker_id).inc(
+            len(data)
+        )
+        # Block-size distribution per op (deterministic byte sizes, so
+        # identical seeded runs diff clean) — the write-path scrape
+        # surface for the OpenMetrics export.
+        reg.histogram(
+            "store.block_bytes",
+            buckets=BLOCK_BYTES_BUCKETS,
+            op="put",
+            worker_id=self.worker_id,
+        ).observe(len(data))
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -131,9 +148,16 @@ class Worker:
         if self._lru is not None:
             self._lru.touch(key)
         self.bytes_served += len(data)
-        get_registry().counter(
-            "store.bytes_served", worker_id=self.worker_id
-        ).inc(len(data))
+        reg = get_registry()
+        reg.counter("store.bytes_served", worker_id=self.worker_id).inc(
+            len(data)
+        )
+        reg.histogram(
+            "store.block_bytes",
+            buckets=BLOCK_BYTES_BUCKETS,
+            op="get",
+            worker_id=self.worker_id,
+        ).observe(len(data))
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(

@@ -553,3 +553,208 @@ def test_report_diff_rejects_mismatched_schema_versions(tmp_path, capsys):
     err = capsys.readouterr().err
     assert "schema mismatch" in err
     assert "regenerate both" in err
+
+
+# -- live telemetry surface: dash, openmetrics export, SLO plumbing --------
+
+
+def _write_trace(tmp_path, schemes="sp"):
+    trace = tmp_path / "run.jsonl"
+    assert main(
+        ["trace", "--schemes", schemes, "--out", str(trace), *FAST]
+    ) == 0
+    return trace
+
+
+def test_stats_openmetrics_exposition(tmp_path, capsys):
+    from repro.obs import parse_openmetrics
+
+    trace = _write_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["stats", str(trace), "--format", "openmetrics"]) == 0
+    out = capsys.readouterr().out
+    families = parse_openmetrics(out)
+    assert "sim_requests" in families
+    assert 'scheme="sp-cache"' in out
+    assert out.endswith("# EOF\n")
+
+
+def test_stats_slo_reevaluation(tmp_path, capsys):
+    trace = _write_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["stats", str(trace), "--slo", "p99<0.001"]) == 0
+    out = capsys.readouterr().out
+    assert "SLO evaluation: p99<0.001" in out
+    assert "p99_latency" in out and "NO" in out
+
+    assert main(["stats", str(trace), "--slo", "wat<1"]) == 2
+    assert "bad --slo spec" in capsys.readouterr().err
+
+
+def test_stats_renders_traced_slo_breaches(tmp_path, capsys):
+    """A run traced with a tight ambient SLO lands breach events that
+    `repro stats` surfaces as an alert table."""
+    from repro.obs import parse_slo, use_slo
+
+    trace = tmp_path / "run.jsonl"
+    with use_slo(parse_slo("p99<0.001")):
+        assert main(
+            ["trace", "--schemes", "sp", "--out", str(trace), *FAST]
+        ) == 0
+    capsys.readouterr()
+    assert main(["stats", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "SLO alerts (traced)" in out
+    assert "slo_breach" in out
+
+
+def test_report_openmetrics(tmp_path, capsys):
+    from repro.obs import parse_openmetrics
+
+    _write_manifests(tmp_path)
+    capsys.readouterr()
+    assert main(["report", str(tmp_path), "--format", "openmetrics"]) == 0
+    out = capsys.readouterr().out
+    families = parse_openmetrics(out)
+    assert families
+    assert 'experiment="fig06"' in out
+
+    target = tmp_path / "metrics.om"
+    assert main(
+        ["report", str(tmp_path), "--format", "openmetrics",
+         "--out", str(target)]
+    ) == 0
+    assert target.read_text().endswith("# EOF\n")
+
+
+def test_experiments_forwards_slo(tmp_path):
+    """The acceptance scenario: a fig13-style run under a deliberately
+    tight p99 objective must land a populated schema-v5 slo section
+    with at least one breach."""
+    assert main(
+        ["experiments", "--only", "fig13", "--scale", "0.05",
+         "--out", str(tmp_path), "--slo", "p99<0.001"]
+    ) == 0
+    manifest = json.loads((tmp_path / "fig13.json").read_text())
+    assert manifest["schema_version"] == 5
+    assert manifest["slo"]
+    assert sum(s["breaches"] for s in manifest["slo"]) >= 1
+    assert manifest["config"]["slo"] == "p99<0.001"
+    schemes = {s["scheme"] for s in manifest["slo"]}
+    assert "sp-cache" in schemes
+
+    assert main(
+        ["experiments", "--only", "fig06", "--out", str(tmp_path),
+         "--slo", "wat<1"]
+    ) == 2
+
+
+def test_dash_renders_trace(tmp_path, capsys):
+    trace = _write_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["dash", str(trace), "--plain"]) == 0
+    out = capsys.readouterr().out
+    assert "== sp-cache ==" in out
+    assert "servers (" in out and "hot keys:" in out
+
+
+def test_dash_renders_manifest(tmp_path, capsys):
+    # fig06 is an analytic table — no simulation, so nothing to board.
+    # fig13 (small scale) exercises the full manifest ingestion path.
+    assert main(
+        ["experiments", "--only", "fig13", "--scale", "0.05",
+         "--out", str(tmp_path)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["dash", str(tmp_path / "fig13.json"), "--plain"]) == 0
+    out = capsys.readouterr().out
+    assert "== sp-cache ==" in out and "requests=" in out
+    assert "servers (" in out
+
+
+def test_dash_reads_stdin(tmp_path, capsys, monkeypatch):
+    import io
+
+    trace = _write_trace(tmp_path)
+    capsys.readouterr()
+    monkeypatch.setattr("sys.stdin", io.StringIO(trace.read_text()))
+    assert main(["dash", "-", "--plain"]) == 0
+    assert "== sp-cache ==" in capsys.readouterr().out
+
+
+def test_dash_follow_renders_final_frame(tmp_path, capsys):
+    trace = _write_trace(tmp_path)
+    capsys.readouterr()
+    assert main(
+        ["dash", str(trace), "--follow", "--plain", "--interval", "0.05",
+         "--idle-limit", "0.2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "== sp-cache ==" in out
+
+
+def test_dash_bad_inputs_fail_cleanly(tmp_path, capsys):
+    assert main(["dash", str(tmp_path / "missing.json"), "--plain"]) == 2
+    assert "no such file" in capsys.readouterr().err
+    assert main(
+        ["dash", str(tmp_path / "missing.jsonl"), "--follow", "--plain",
+         "--idle-limit", "0.1"]
+    ) == 2
+    assert "no such trace file" in capsys.readouterr().err
+
+
+# -- satellite: top/watch resilience on degenerate traces ------------------
+
+
+def test_top_empty_trace_file(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["top", str(empty)]) == 2
+    assert "no popularity sections" in capsys.readouterr().err
+
+
+def test_top_truncated_trace_keeps_complete_lines(tmp_path, capsys):
+    trace = _write_trace(tmp_path)
+    lines = trace.read_text().splitlines()
+    truncated = tmp_path / "truncated.jsonl"
+    # Cut mid-record: everything before the cut still replays.
+    truncated.write_text(
+        "\n".join(lines[: len(lines) // 2]) + '\n{"event": "rea'
+    )
+    assert main(["top", str(truncated)]) == 0
+    assert "sp-cache [trace]" in capsys.readouterr().out
+
+
+def test_top_unknown_event_kinds_are_ignored(tmp_path, capsys):
+    trace = _write_trace(tmp_path)
+    spiked = tmp_path / "spiked.jsonl"
+    spiked.write_text(
+        '{"event": "from_the_future", "scheme": "sp-cache"}\n'
+        + trace.read_text()
+        + '{"event": "also_unknown", "ts": 1}\n'
+    )
+    assert main(["top", str(spiked)]) == 0
+    assert "sp-cache [trace]" in capsys.readouterr().out
+
+
+def test_watch_empty_then_unknown_trace(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(
+        ["watch", str(empty), "--frames", "1", "--interval", "0"]
+    ) == 2
+    assert "waiting for popularity data" in capsys.readouterr().out
+
+    unknown = tmp_path / "unknown.jsonl"
+    unknown.write_text('{"event": "mystery"}\n{"not": "an event"}\n')
+    assert main(
+        ["watch", str(unknown), "--frames", "1", "--interval", "0"]
+    ) == 2
+    assert "waiting for popularity data" in capsys.readouterr().out
+
+
+def test_stats_empty_trace_fails_cleanly(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["stats", str(empty)]) == 1
+    assert "no read events" in capsys.readouterr().err

@@ -5,12 +5,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.obs import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
+    parse_openmetrics,
+    parse_snapshot_key,
+    render_openmetrics,
+    render_snapshot_key,
     reset_registry,
     set_registry,
 )
@@ -149,3 +156,77 @@ class TestHistogram:
     def test_needs_buckets(self):
         with pytest.raises(ValueError, match="at least one bucket"):
             Histogram("h", {}, buckets=())
+
+
+# Label values stress the two serialization layers: the flat snapshot
+# key (`name{k=v,...}`) and the OpenMetrics exposition.  Values holding
+# the key syntax's own delimiters (`,` `=` `{` `}` `"` newline `\`) are
+# exactly the ones that historically leaked through unescaped.
+_label_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r"
+    ),
+    min_size=0,
+    max_size=24,
+)
+_label_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+)
+
+
+class TestSnapshotKeyRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(labels=st.dictionaries(_label_names, _label_values, max_size=3))
+    def test_render_parse_round_trip(self, labels):
+        key = render_snapshot_key("sim.requests", labels)
+        name, parsed = parse_snapshot_key(key)
+        assert name == "sim.requests"
+        assert parsed == {k: str(v) for k, v in labels.items()}
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=_label_values)
+    def test_registry_snapshot_keys_parse_back(self, value):
+        reg = MetricsRegistry()
+        reg.counter("c", scheme=value).inc()
+        (key,) = reg.snapshot()
+        name, labels = parse_snapshot_key(key)
+        assert name == "c"
+        assert labels == {"scheme": value}
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=_label_values.filter(lambda v: "\n" not in v))
+    def test_openmetrics_round_trip(self, value):
+        reg = MetricsRegistry()
+        reg.counter("c", scheme=value).inc(2)
+        families = parse_openmetrics(render_openmetrics(reg))
+        (sample,) = families["c"]["samples"]
+        _name, labels, sample_value = sample
+        assert labels == {"scheme": value}
+        assert sample_value == 2.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.sampled_from(
+        ['a,b', 'a=b', 'a"b', "a\nb", "a\\b", "{x}", 'sp,cache="w"\\']
+    ))
+    def test_delimiter_values_round_trip_everywhere(self, value):
+        key = render_snapshot_key("m", {"l": value})
+        assert parse_snapshot_key(key) == ("m", {"l": value})
+        reg = MetricsRegistry()
+        reg.gauge("g", l=value).set(1.5)
+        if "\n" not in value:
+            families = parse_openmetrics(render_openmetrics(reg))
+            (sample,) = families["g"]["samples"]
+            assert sample[1] == {"l": value}
+
+    def test_plain_keys_stay_byte_identical(self):
+        # Backward compatibility: unexotic labels must keep the exact
+        # key spelling older manifests recorded.
+        key = render_snapshot_key(
+            "sim.requests", {"scheme": "sp-cache", "engine": "fifo"}
+        )
+        assert key == "sim.requests{engine=fifo,scheme=sp-cache}"
+
+    def test_malformed_keys_raise(self):
+        for bad in ("m{", "m{x}", "m{x=1", 'm{x="1}', "m{=1}"):
+            with pytest.raises(ValueError):
+                parse_snapshot_key(bad)

@@ -43,6 +43,49 @@ def test_render_report_empty():
     assert "no manifests" in render_report({})
 
 
+def test_summary_surfaces_rss_and_throughput():
+    """Schema-v4 resource fields (recorded since they landed, never
+    displayed) now show up as summary columns."""
+    manifests = _manifests(peak_rss=256 * 1024 * 1024, total_requests=500)
+    text = render_report(manifests)
+    assert "peak_rss_mb" in text and "req_per_s" in text
+    assert "| 256 |" in text  # 256 MiB
+    assert "250" in text  # 500 requests / 2.0s wall
+
+
+def test_summary_dashes_when_resources_absent():
+    manifests = _manifests()
+    for m in manifests.values():
+        m["peak_rss_bytes"] = None
+        m["total_requests"] = None
+    text = render_report(manifests)
+    assert "peak_rss_mb" in text
+
+
+def test_report_renders_slo_subtable():
+    manifests = _manifests(
+        slo=[
+            {
+                "scheme": "sp-cache",
+                "objectives": [
+                    {
+                        "name": "p99_latency", "met": False,
+                        "bad_fraction": 0.5, "budget": 0.01,
+                        "budget_remaining": -49.0, "breaches": 3,
+                    }
+                ],
+            }
+        ]
+    )
+    text = render_report(manifests)
+    assert "SLOs (burn-rate evaluation):" in text
+    assert "p99_latency" in text and "NO" in text
+
+
+def test_report_skips_slo_subtable_when_absent():
+    assert "SLOs" not in render_report(_manifests())
+
+
 def test_identical_manifests_diff_clean():
     base = _manifests()
     assert diff_manifests(base, copy.deepcopy(base)) == []

@@ -88,6 +88,8 @@ def test_write_and_load_roundtrip(tmp_path):
         {"timelines": [{"no": "scheme"}]},
         {"popularity": "not a list"},
         {"popularity": [{"no": "scheme"}]},
+        {"slo": "not a list"},
+        {"slo": [{"no": "scheme"}]},
         {"peak_rss_bytes": "big"},
         {"peak_rss_bytes": -1},
         {"total_requests": -5},
@@ -118,7 +120,22 @@ def test_build_manifest_carries_timeline_sections():
     section = {"scheme": "sp-cache", "engine": "ps", "n_windows": 3}
     m = build_manifest("figZ", [], wall_s=0.0, timelines=[section])
     assert m["timelines"] == [section]
-    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 4
+    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 5
+
+
+def test_build_manifest_carries_slo_sections():
+    section = {"scheme": "sp-cache", "engine": "fifo", "breaches": 2}
+    m = build_manifest("figZ", [], wall_s=0.0, slo=[section])
+    assert m["slo"] == [section]
+    assert validate_manifest(m) is m
+
+
+def test_v4_manifest_without_slo_still_loads():
+    """Manifests written before the slo key keep validating."""
+    m = _manifest()
+    m["schema_version"] = 4
+    del m["slo"]
+    assert validate_manifest(m) is m
 
 
 def test_build_manifest_carries_popularity_sections():
