@@ -32,6 +32,13 @@ Subcommands
     Render a manifest's tail-latency attribution — p99 split into
     queueing/straggling/transfer/join — plus the slowest-request
     exemplars with their per-partition breakdowns.
+``critical``
+    Render causal critical paths: per-edge (queue/service/transfer/
+    join) aggregates and the slowest per-request chains, from a
+    schema-v6 manifest's ``causal`` sections or a JSONL trace's
+    ``cspan`` span trees.  ``--check`` gates on the conservation
+    invariant (and full DAG reconstruction for traces); ``--chrome``
+    exports span trees with parent->child flow arrows.
 ``experiments``
     Regenerate evaluation tables and ``results/<exp>.json`` run
     manifests (thin wrapper over ``repro.experiments.run_all``; also
@@ -82,10 +89,14 @@ from repro.obs import events as ev
 from repro.core import optimal_scale_factor, partition_counts
 from repro.cluster.network import GoodputModel
 from repro.obs import (
+    CausalConfig,
     DashBoard,
     FileSink,
     HeadSamplingSink,
     Tracer,
+    causal_from_trace,
+    critical_chain_rows,
+    critical_edge_rows,
     dash_from_manifest,
     event_counts,
     follow_lines,
@@ -109,6 +120,7 @@ from repro.obs import (
     trace_summary,
     unknown_events,
     use_tracer,
+    write_causal_chrome_trace,
 )
 from repro.obs.report import (
     METRIC_TOLERANCE,
@@ -208,6 +220,17 @@ def _add_batch_size_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_causal_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--causal",
+        action="store_true",
+        help=(
+            "collect causal spans and critical-path edges (with --trace "
+            "or `trace`, request span trees are written as cspan events)"
+        ),
+    )
+
+
 def _add_discipline_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--discipline",
@@ -251,6 +274,9 @@ def _simulate_one(pop, cluster, scheme, args):
         stragglers=_STRAGGLERS[args.stragglers](),
         seed=args.seed + 2,
         batch_size=getattr(args, "batch_size", None),
+        causal=(
+            CausalConfig() if getattr(args, "causal", False) else None
+        ),
     )
     result = simulate_reads(trace, policy, cluster, config)
     summary = result.summary()
@@ -311,6 +337,8 @@ def _cmd_simulate(args) -> int:
             "mem_overhead_pct": policy.memory_overhead() * 100,
             "metrics": result.metrics,
         }
+        if result.causal is not None:
+            record["causal"] = result.causal
         print(json.dumps(record, indent=2))
         return 0
     rows = [
@@ -323,6 +351,19 @@ def _cmd_simulate(args) -> int:
         {"metric": "memory overhead %", "value": policy.memory_overhead() * 100},
     ]
     print(format_table(rows, title=f"simulate: {args.scheme}"))
+    if result.causal is not None:
+        conservation = result.causal.get("conservation") or {}
+        print()
+        print(
+            format_table(
+                critical_edge_rows(result.causal),
+                title=(
+                    "critical-path edges (conservation "
+                    f"{'ok' if conservation.get('ok') else 'VIOLATED'}, "
+                    f"max_rel_err {conservation.get('max_rel_err', 0):.2e})"
+                ),
+            )
+        )
     return 0
 
 
@@ -337,15 +378,17 @@ def _cmd_compare(args) -> int:
     with _maybe_trace(args.trace, args.sample) as sink:
         for scheme in schemes:
             policy, result, summary = _simulate_one(pop, cluster, scheme, args)
-            rows.append(
-                {
-                    "scheme": policy.name,
-                    "mean_s": summary.mean,
-                    "p95_s": summary.p95,
-                    "eta": imbalance_factor(result.server_bytes),
-                    "mem_overhead_pct": policy.memory_overhead() * 100,
-                }
-            )
+            row = {
+                "scheme": policy.name,
+                "mean_s": summary.mean,
+                "p95_s": summary.p95,
+                "eta": imbalance_factor(result.server_bytes),
+                "mem_overhead_pct": policy.memory_overhead() * 100,
+            }
+            if result.causal is not None:
+                conservation = result.causal.get("conservation") or {}
+                row["crit_ok"] = "yes" if conservation.get("ok") else "NO"
+            rows.append(row)
     if sink is not None:
         print(
             f"trace: {sink.n_records} events -> {sink.path}", file=sys.stderr
@@ -530,6 +573,29 @@ def _cmd_stats(args) -> int:
                 slo_rows, args, title=f"SLO evaluation: {args.slo}"
             )
 
+    # Lineage recoveries traced by the store layer: one RECOVERY record
+    # per recomputed file, with the recompute wall time and byte count.
+    recovery_events = [r for r in events if r.get("event") == ev.RECOVERY]
+    if recovery_events:
+        recoveries = {
+            "count": len(recovery_events),
+            "bytes": sum(int(r.get("bytes", 0)) for r in recovery_events),
+            "wall_s": float(
+                sum(float(r.get("wall_s", 0.0)) for r in recovery_events)
+            ),
+        }
+        payload["recoveries"] = recoveries
+        if not args.json:
+            print()
+            print(
+                f"lineage recoveries: {recoveries['count']} file(s), "
+                f"{recoveries['bytes']} bytes recomputed in "
+                f"{recoveries['wall_s']:.3g}s"
+            )
+
+    # Every known event kind renders with its layer (simulator, store,
+    # core, popularity, slo, profiling, causal); unknown kinds — traces
+    # from newer builds — are counted separately, never dropped silently.
     counts = event_counts(events)
     payload["events"] = counts
     unknown = unknown_events(events)
@@ -539,7 +605,20 @@ def _cmd_stats(args) -> int:
     else:
         print()
         _print_rows(
-            [{"event": k, "count": v} for k, v in counts.items()],
+            [
+                {
+                    "layer": ev.EVENT_LAYER.get(k, "unknown"),
+                    "event": k,
+                    "count": v,
+                }
+                for k, v in sorted(
+                    counts.items(),
+                    key=lambda kv: (
+                        ev.EVENT_LAYER.get(kv[0], "unknown"),
+                        kv[0],
+                    ),
+                )
+            ],
             args,
             title="event counts",
         )
@@ -686,6 +765,145 @@ def _cmd_tail(args) -> int:
                 format_table(
                     exemplar_rows,
                     title=f"slowest {len(exemplar_rows)} requests",
+                )
+            )
+        print()
+    return 0
+
+
+def _load_causal(path: str) -> tuple[list[dict], bool] | None:
+    """Causal sections from a manifest, section JSON, or JSONL trace.
+
+    Accepts a schema-v6 run manifest (its ``causal`` list), a bare JSON
+    list of sections, a single section object, or a JSONL event trace
+    (``cspan`` span trees are rebuilt into per-request DAGs via
+    :func:`repro.obs.causal_from_trace`).  Returns ``(sections,
+    from_trace)`` so callers know whether Chrome export is possible, or
+    ``None`` after reporting the failure to stderr.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        print(f"no such file: {path}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError:
+        doc = None  # multi-line JSONL trace — rebuild from cspan events
+    from_trace = False
+    if isinstance(doc, dict) and "causal" in doc:
+        sections = doc["causal"]
+    elif isinstance(doc, dict) and "conservation" in doc:
+        sections = [doc]
+    elif isinstance(doc, list):
+        sections = doc
+    else:
+        try:
+            sections = causal_from_trace(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            print(
+                f"{path} holds neither a run manifest, causal sections, "
+                "nor a readable JSONL trace",
+                file=sys.stderr,
+            )
+            return None
+        from_trace = True
+    sections = [
+        s for s in sections if isinstance(s, dict) and "conservation" in s
+    ]
+    if not sections:
+        print(
+            f"no causal sections in {path} (older manifest schema, or a "
+            "trace without cspan events?)",
+            file=sys.stderr,
+        )
+        return None
+    return sections, from_trace
+
+
+def _causal_title(section: dict, i: int) -> str:
+    conservation = section.get("conservation") or {}
+    title = (
+        f"{section.get('scheme', '?')} [{section.get('engine', '?')}] #{i}: "
+        f"{section.get('n_requests', 0)} requests, conservation "
+        f"{'ok' if conservation.get('ok') else 'VIOLATED'} "
+        f"(max_rel_err {conservation.get('max_rel_err', 0):.2e})"
+    )
+    if "reconstructed" in section:
+        title += (
+            f", {section['reconstructed']} DAG(s) rebuilt, "
+            f"{section.get('dropped', 0)} dropped"
+        )
+    return title
+
+
+def _causal_check(sections: list[dict], from_trace: bool) -> int:
+    """Exit status for ``critical --check``: 0 iff every section holds.
+
+    A section passes when its conservation invariant verified clean and
+    — for trace-rebuilt sections — every request's span tree was
+    complete (``reconstructed == n_requests`` and nothing dropped).
+    """
+    failures = []
+    for i, section in enumerate(sections):
+        conservation = section.get("conservation") or {}
+        if not conservation.get("ok"):
+            failures.append(
+                f"section {i} ({section.get('scheme', '?')}): conservation "
+                f"violated (max_rel_err {conservation.get('max_rel_err')})"
+            )
+        if from_trace:
+            n = section.get("n_requests", 0)
+            rebuilt = section.get("reconstructed", 0)
+            dropped = section.get("dropped", 0)
+            if rebuilt != n or dropped:
+                failures.append(
+                    f"section {i} ({section.get('scheme', '?')}): "
+                    f"{rebuilt}/{n} DAGs reconstructed, {dropped} dropped"
+                )
+    for failure in failures:
+        print(f"check failed: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"check ok: {len(sections)} section(s), conservation clean"
+            + (", all span trees complete" if from_trace else "")
+        )
+    return 1 if failures else 0
+
+
+def _cmd_critical(args) -> int:
+    """Render per-request critical paths and causal edge aggregates."""
+    loaded = _load_causal(args.source)
+    if loaded is None:
+        return 2
+    sections, from_trace = loaded
+    if args.chrome:
+        if not from_trace:
+            print(
+                "--chrome needs a JSONL trace with cspan events "
+                "(manifest sections carry no span trees)",
+                file=sys.stderr,
+            )
+            return 2
+        n = write_causal_chrome_trace(args.source, args.chrome)
+        print(f"chrome trace: {n} span events -> {args.chrome}")
+    if args.check:
+        return _causal_check(sections, from_trace)
+    if args.json:
+        print(json.dumps(sections, indent=2, default=str))
+        return 0
+    for i, section in enumerate(sections):
+        print(
+            format_table(
+                critical_edge_rows(section), title=_causal_title(section, i)
+            )
+        )
+        chain_rows = critical_chain_rows(section, top=args.top)
+        if chain_rows:
+            print()
+            print(
+                format_table(
+                    chain_rows,
+                    title=f"slowest {len(chain_rows)} critical paths",
                 )
             )
         print()
@@ -1056,6 +1274,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_discipline_arg(p_sim)
     _add_batch_size_arg(p_sim)
+    _add_causal_arg(p_sim)
     p_sim.add_argument(
         "--json", action="store_true", help="machine-parseable JSON output"
     )
@@ -1075,6 +1294,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_discipline_arg(p_cmp)
     _add_batch_size_arg(p_cmp)
+    _add_causal_arg(p_cmp)
     p_cmp.add_argument(
         "--json", action="store_true", help="machine-parseable JSON output"
     )
@@ -1100,6 +1320,7 @@ def main(argv: list[str] | None = None) -> int:
         "--stragglers", choices=sorted(_STRAGGLERS), default="natural"
     )
     _add_discipline_arg(p_trc)
+    _add_causal_arg(p_trc)
     p_trc.add_argument("--out", required=True, metavar="PATH")
     _add_sample_arg(p_trc)
     p_trc.set_defaults(func=_cmd_trace)
@@ -1164,6 +1385,40 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="machine-parseable JSON output"
     )
     p_tail.set_defaults(func=_cmd_tail)
+
+    p_crt = sub.add_parser(
+        "critical",
+        help="per-request critical paths and causal edge aggregates",
+    )
+    p_crt.add_argument(
+        "source",
+        help=(
+            "run manifest JSON, causal section(s), or a JSONL trace with "
+            "cspan events"
+        ),
+    )
+    p_crt.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="show the N slowest critical paths per section (default 10)",
+    )
+    p_crt.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit non-zero unless every section's conservation invariant "
+            "holds (and, for traces, every span tree reconstructed)"
+        ),
+    )
+    p_crt.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help=(
+            "also export the trace's span trees as a Chrome/Perfetto "
+            "trace with parent->child flow arrows (JSONL input only)"
+        ),
+    )
+    p_crt.add_argument(
+        "--json", action="store_true", help="emit raw sections as JSON"
+    )
+    p_crt.set_defaults(func=_cmd_critical)
 
     p_top = sub.add_parser(
         "top",

@@ -45,8 +45,8 @@ class FifoDiscipline:
         exponential = lc.exponential
         injector = lc.injector
         emit = lc.emit
-        observe = lc.observe
-        collector = lc.collector
+        record = lc.record
+        recorders = lc.recorders
         track = lc.track
         if track:
             # Window loads come from snapshot-diffing this vector, so
@@ -105,22 +105,20 @@ class FifoDiscipline:
             )
             latencies[j] = latency
 
-            if observe:
-                collector.record_partitions(
-                    j,
-                    servers,
-                    op.sizes,
-                    start,
-                    completion,
-                    extra if extra is not None else np.zeros(reported.size),
-                    np.broadcast_to(
-                        np.asarray(factors, dtype=np.float64), (reported.size,)
-                    ),
+            if record:
+                crit = int(np.flatnonzero(reported == join_at)[0])
+                extras = (
+                    extra if extra is not None else np.zeros(reported.size)
                 )
-                collector.record_request(j, missed=missed, straggled=straggled)
-                collector.record_join(
-                    j, int(np.flatnonzero(reported == join_at)[0])
+                gfs = np.broadcast_to(
+                    np.asarray(factors, dtype=np.float64), (reported.size,)
                 )
+                for c in recorders:
+                    c.record_partitions(
+                        j, servers, op.sizes, start, completion, extras, gfs
+                    )
+                    c.record_request(j, missed=missed, straggled=straggled)
+                    c.record_join(j, crit)
 
             if emit:
                 lc.emit_read(
@@ -257,8 +255,8 @@ def _consume_fifo_batch(
     )
     group_off = np.append(group_starts, ss.size)
     present = ss[group_starts]
-    # Start times only feed the observe/emit paths — skip them otherwise.
-    need_start = lc.observe or lc.emit
+    # Start times only feed the record/emit paths — skip them otherwise.
+    need_start = lc.record or lc.emit
     st, cp, free = fifo_schedule_grouped(
         t_flow[order],
         service[order],
@@ -295,8 +293,8 @@ def _consume_fifo_batch(
         lat[missed] *= lc.config.miss_penalty
     latencies[j0 : j0 + n] = lat
 
-    if lc.observe:
-        _record_timeline_batch(
+    if lc.record:
+        _record_frames(
             lc, batch, j0, start, comp, reported, join_at, missed
         )
 
@@ -325,7 +323,7 @@ def _consume_fifo_batch(
             )
 
 
-def _record_timeline_batch(
+def _record_frames(
     lc: RequestLifecycle,
     batch: PlanBatch,
     j0: int,
@@ -335,8 +333,7 @@ def _record_timeline_batch(
     join_at: np.ndarray,
     missed: np.ndarray,
 ) -> None:
-    """One timeline frame per batch — no per-request Python objects."""
-    collector = lc.collector
+    """One recorder frame per batch — no per-request Python objects."""
     n = batch.n
     k = batch.k
     total = batch.servers.size
@@ -344,18 +341,7 @@ def _record_timeline_batch(
     extras = (
         batch.extra if batch.extra is not None else np.zeros(total)
     )
-    collector.record_partition_frame(
-        j0 + req_local,
-        batch.pos,
-        batch.servers,
-        batch.sizes,
-        start,
-        comp,
-        extras,
-        batch.gfactors,
-    )
     reqs = j0 + np.arange(n, dtype=np.int64)
-    collector.record_request_frame(reqs, missed, batch.straggled_mult)
     # Critical partition: the scalar path takes the *first* flow whose
     # reported completion equals the join time; a reversed fancy
     # assignment keeps the first match per request.
@@ -363,7 +349,19 @@ def _record_timeline_batch(
     crit = np.full(n, -1, dtype=np.int64)
     mreq = req_local[match][::-1]
     crit[mreq] = batch.pos[match][::-1]
-    collector.record_join_frame(reqs, crit)
+    for c in lc.recorders:
+        c.record_partition_frame(
+            j0 + req_local,
+            batch.pos,
+            batch.servers,
+            batch.sizes,
+            start,
+            comp,
+            extras,
+            batch.gfactors,
+        )
+        c.record_request_frame(reqs, missed, batch.straggled_mult)
+        c.record_join_frame(reqs, crit)
 
 
 def _consume_fifo_scalar(
@@ -382,7 +380,7 @@ def _consume_fifo_scalar(
     with duplicate indices, ``free_at[servers] = completion`` keeps the
     last write and ``server_bytes[servers] += sizes`` collapses the adds.
     """
-    collector = lc.collector
+    recorders = lc.recorders
     injector_enabled = lc.injector.enabled
     off = batch.req_off.tolist()
     times = batch.times.tolist()
@@ -423,20 +421,18 @@ def _consume_fifo_scalar(
             missed,
         )
         latencies[j] = latency
-        if lc.observe:
-            collector.record_partitions(
-                j,
-                srv,
-                sz,
-                start,
-                completion,
-                extra if extra is not None else np.zeros(reported.size),
-                batch.gfactors[lo:hi],
+        if lc.record:
+            crit = int(np.flatnonzero(reported == join_at)[0])
+            extras = (
+                extra if extra is not None else np.zeros(reported.size)
             )
-            collector.record_request(j, missed=missed, straggled=straggled)
-            collector.record_join(
-                j, int(np.flatnonzero(reported == join_at)[0])
-            )
+            for c in recorders:
+                c.record_partitions(
+                    j, srv, sz, start, completion, extras,
+                    batch.gfactors[lo:hi],
+                )
+                c.record_request(j, missed=missed, straggled=straggled)
+                c.record_join(j, crit)
         if lc.emit:
             lc.emit_read(
                 ts=t,

@@ -33,6 +33,12 @@ from repro.cluster.network import GoodputModel
 from repro.cluster.stragglers import StragglerInjector
 from repro.common import ClusterSpec, make_rng
 from repro.obs import events as ev
+from repro.obs.causal import (
+    CausalCollector,
+    CausalConfig,
+    get_causal_config,
+    publish_causal,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.popularity import (
     PopularityConfig,
@@ -181,6 +187,11 @@ class SimulationConfig:
     #: :func:`repro.obs.slo.get_slo_config`, itself a no-op unless
     #: installed.
     slo: SLOConfig | None = None
+    #: Causal critical-path collection (:mod:`repro.obs.causal`) for
+    #: this run; ``None`` falls back to the ambient
+    #: :func:`repro.obs.causal.get_causal_config`, itself a no-op unless
+    #: installed.
+    causal: CausalConfig | None = None
     #: Requests per planned batch for the vectorized planning layer
     #: (:mod:`repro.cluster.engine.batch`).  ``None`` falls back to the
     #: ambient :func:`repro.cluster.engine.batch.get_batch_size`, itself
@@ -221,6 +232,13 @@ class SimulationConfig:
                 f"slo must be an SLOConfig or None, "
                 f"got {type(self.slo).__name__}"
             )
+        if self.causal is not None and not isinstance(
+            self.causal, CausalConfig
+        ):
+            raise TypeError(
+                f"causal must be a CausalConfig or None, "
+                f"got {type(self.causal).__name__}"
+            )
         if self.batch_size is not None:
             if not isinstance(self.batch_size, int) or isinstance(
                 self.batch_size, bool
@@ -260,6 +278,9 @@ class SimulationResult:
     #: Finalized SLO section (``None`` unless the run had SLO
     #: evaluation enabled) — see :mod:`repro.obs.slo`.
     slo: dict | None = None
+    #: Finalized causal critical-path section (``None`` unless the run
+    #: had causal collection enabled) — see :mod:`repro.obs.causal`.
+    causal: dict | None = None
 
     @property
     def n_requests(self) -> int:
@@ -391,6 +412,30 @@ class RequestLifecycle:
         )
         #: Hoisted timeline check — disabled collection must stay free.
         self.observe = self.collector is not None
+        causal_config = (
+            config.causal
+            if config.causal is not None
+            else get_causal_config()
+        )
+        self.causal: CausalCollector | None = (
+            CausalCollector(
+                causal_config,
+                n_requests=self.n_requests,
+                n_servers=cluster.n_servers,
+                scheme=self.scheme,
+                engine=engine,
+            )
+            if causal_config is not None
+            else None
+        )
+        #: The active per-partition recorders (timeline and/or causal).
+        #: Both expose the same buffer-only hook API, so disciplines fan
+        #: one guarded ``for c in lc.recorders:`` out to whichever are
+        #: enabled; ``record`` is the hoisted emptiness check.
+        self.recorders: tuple = tuple(
+            c for c in (self.collector, self.causal) if c is not None
+        )
+        self.record = bool(self.recorders)
         popularity_config = (
             config.popularity
             if config.popularity is not None
@@ -605,6 +650,17 @@ class RequestLifecycle:
             publish_timeline(timeline)
             if self.emit:
                 self._emit_timeline_windows(timeline)
+        causal = None
+        if self.causal is not None:
+            causal = self.causal.finalize(
+                times=self.trace.times,
+                file_ids=self.trace.file_ids,
+                latencies=latencies,
+                warmup_fraction=self.config.warmup_fraction,
+            )
+            publish_causal(causal)
+            if self.emit:
+                self.causal.emit_spans(self.tracer)
         popularity = None
         if self.popularity is not None:
             popularity = self.popularity.finalize()
@@ -631,6 +687,7 @@ class RequestLifecycle:
             timeline=timeline,
             popularity=popularity,
             slo=slo,
+            causal=causal,
         )
 
     def _emit_timeline_windows(self, timeline: dict) -> None:

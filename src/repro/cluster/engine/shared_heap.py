@@ -62,8 +62,8 @@ def _run_heap(
     goodput = lc.goodput
     exponential = lc.exponential
     emit = lc.emit
-    observe = lc.observe
-    collector = lc.collector
+    record = lc.record
+    recorders = lc.recorders
     track = lc.track
 
     server_bytes = np.zeros(lc.cluster.n_servers)
@@ -87,8 +87,8 @@ def _run_heap(
     f_last: list[float] = []
     f_gen: list[int] = []
     f_extra: list[float] = []  # straggler report delay, seconds
-    # Timeline bookkeeping, appended only when observing (indices stay
-    # aligned with the lists above because ``observe`` is run-constant).
+    # Recorder bookkeeping, appended only when recording (indices stay
+    # aligned with the lists above because ``record`` is run-constant).
     f_pos: list[int] = []  # partition position within the fork-join
     f_start: list[float] = []  # activation time (first holds bandwidth)
     f_bytes: list[float] = []  # nominal partition bytes
@@ -152,8 +152,9 @@ def _run_heap(
         """
         req_remaining[j] -= 1
         if req_remaining[j] == 0:
-            if observe:
-                collector.record_join(j, pos)
+            if record:
+                for c in recorders:
+                    c.record_join(j, pos)
             latency = lc.request_latency(
                 float(trace.times[j]),
                 t,
@@ -199,7 +200,7 @@ def _run_heap(
                 op = _SegView(op_servers, op_sizes)
                 k = hi_f - lo
                 sizes = batch_eff[lo:hi_f]
-                gfactors = batch.gfactors[lo:hi_f] if observe else None
+                gfactors = batch.gfactors[lo:hi_f] if record else None
                 if track:
                     lc.observe_popularity(t, fid0, op)
                 straggled = False
@@ -222,7 +223,7 @@ def _run_heap(
                 op_sizes = op.sizes
                 k = op.parallelism
                 sizes = op.sizes.astype(np.float64).copy()
-                gfactors = [] if observe else None
+                gfactors = [] if record else None
                 if goodput is not None:
                     for pos in range(k):
                         b = float(bandwidths[op_servers[pos]])
@@ -258,7 +259,7 @@ def _run_heap(
                 f_last.append(t)
                 f_gen.append(0)
                 f_extra.append(float(extra[pos]))
-                if observe:
+                if record:
                     f_pos.append(pos)
                     f_start.append(t)  # overwritten if the flow waits
                     f_bytes.append(float(op_sizes[pos]))
@@ -280,10 +281,11 @@ def _run_heap(
                     straggled=straggled,
                     missed=bool(req_miss[j]),
                 )
-            if observe:
-                collector.record_request(
-                    j, missed=bool(req_miss[j]), straggled=straggled
-                )
+            if record:
+                for c in recorders:
+                    c.record_request(
+                        j, missed=bool(req_miss[j]), straggled=straggled
+                    )
             # Flows already active on touched servers lose share; bring
             # them to t first, then recompute every rate under the new
             # memberships.
@@ -304,23 +306,24 @@ def _run_heap(
             server_active[sid].discard(fid)
             request_active[j].discard(fid)
             f_gen[fid] += 1  # invalidate any residual candidates
-            if observe:
-                collector.record_partition(
-                    j,
-                    f_pos[fid],
-                    sid,
-                    f_bytes[fid],
-                    f_start[fid],
-                    t,
-                    f_extra[fid],
-                    f_gfactor[fid],
-                )
+            if record:
+                for c in recorders:
+                    c.record_partition(
+                        j,
+                        f_pos[fid],
+                        sid,
+                        f_bytes[fid],
+                        f_start[fid],
+                        t,
+                        f_extra[fid],
+                        f_gfactor[fid],
+                    )
 
             if f_extra[fid] > 0.0:
                 # Straggler: bandwidth freed now, completion reported late.
                 heapq.heappush(heap, (t + f_extra[fid], 2, fid, 0))
             else:
-                notify(j, t, f_pos[fid] if observe else -1)
+                notify(j, t, f_pos[fid] if record else -1)
 
             affected = server_active[sid] | request_active[j]
             if capacity is not None and server_waiting[sid]:
@@ -328,7 +331,7 @@ def _run_heap(
                 # activation also squeezes its request's flows elsewhere.
                 woken = server_waiting[sid].popleft()
                 f_last[woken] = t
-                if observe:
+                if record:
                     f_start[woken] = t
                 server_active[sid].add(woken)
                 request_active[f_request[woken]].add(woken)
@@ -340,7 +343,7 @@ def _run_heap(
                 reschedule(ofid)
 
         else:  # kind == 2: delayed straggler report reaches the client
-            notify(f_request[ident], t, f_pos[ident] if observe else -1)
+            notify(f_request[ident], t, f_pos[ident] if record else -1)
 
     if np.isnan(latencies).any():  # pragma: no cover - engine invariant
         raise AssertionError("some requests never completed")

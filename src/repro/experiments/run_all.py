@@ -51,6 +51,7 @@ import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.analysis.tables import format_table
+from repro.obs.causal import CausalConfig, collect_causal, use_causal
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.popularity import collect_popularity
 from repro.obs.runinfo import build_manifest, write_manifest
@@ -113,6 +114,7 @@ def run_experiment(
     timelines: list[dict] = []
     popularity: list[dict] = []
     slo_sections: list[dict] = []
+    causal_sections: list[dict] = []
     previous = set_registry(registry)
     try:
         with collect_spans(collector):
@@ -124,8 +126,15 @@ def run_experiment(
                 with use_slo(slo_config):
                     with span("experiment", experiment=spec.name):
                         if spec.timeline:
-                            with collect_timelines(timelines):
-                                with use_timeline(TimelineConfig()):
+                            # Timeline experiments also collect causal
+                            # critical paths — the same per-partition
+                            # records feed both, and the sections are
+                            # deterministic so ``report --diff`` stays
+                            # clean.
+                            with collect_timelines(timelines), \
+                                    collect_causal(causal_sections):
+                                with use_timeline(TimelineConfig()), \
+                                        use_causal(CausalConfig()):
                                     rows = spec.run(
                                         scale=scale,
                                         batch_size=batch_size,
@@ -163,6 +172,7 @@ def run_experiment(
         timelines=timelines,
         popularity=popularity,
         slo=slo_sections,
+        causal=causal_sections,
     )
     return rows, manifest
 

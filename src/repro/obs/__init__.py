@@ -47,11 +47,36 @@ Cooperating pieces (each documented in its module, schema tables in
 :mod:`repro.obs.dash`
     Fold trace events or manifests into a renderable cluster health
     board (``python -m repro dash``).
+:mod:`repro.obs.causal`
+    Causal request tracing: contextvar-propagated trace contexts with
+    W3C-traceparent serialization, per-request fork-join span trees,
+    and critical-path analysis with a conservation invariant
+    (``python -m repro critical``); sections land in schema-v6
+    manifests.
 
 :mod:`repro.obs.events` pins the event-name vocabulary.
 """
 
 from repro.obs import events
+from repro.obs.causal import (
+    CAUSAL_SCHEMA_VERSION,
+    CausalCollector,
+    CausalConfig,
+    TraceContext,
+    causal_chrome_events,
+    causal_from_trace,
+    causal_span,
+    collect_causal,
+    critical_chain_rows,
+    critical_edge_rows,
+    current_context,
+    get_causal_config,
+    publish_causal,
+    span_forest,
+    use_causal,
+    use_context,
+    write_causal_chrome_trace,
+)
 from repro.obs.dash import (
     DashBoard,
     dash_from_manifest,
@@ -171,10 +196,14 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CAUSAL_SCHEMA_VERSION",
+    "CausalCollector",
+    "CausalConfig",
     "CountMinSketch",
     "Counter",
     "DEFAULT_OBJECTIVES",
     "DashBoard",
+    "TraceContext",
     "FileSink",
     "Gauge",
     "HeadSamplingSink",
@@ -201,19 +230,27 @@ __all__ = [
     "TimelineConfig",
     "Tracer",
     "build_manifest",
+    "causal_chrome_events",
+    "causal_from_trace",
+    "causal_span",
     "chrome_counter_events",
     "chrome_trace",
+    "collect_causal",
     "collect_popularity",
     "collect_slo",
     "collect_spans",
     "collect_timelines",
     "config_hash",
+    "critical_chain_rows",
+    "critical_edge_rows",
+    "current_context",
     "current_span_id",
     "dash_from_manifest",
     "default_slo_config",
     "event_counts",
     "events",
     "follow_lines",
+    "get_causal_config",
     "get_popularity_config",
     "get_registry",
     "get_slo_config",
@@ -237,6 +274,7 @@ __all__ = [
     "popularity_from_trace",
     "profile",
     "profiled",
+    "publish_causal",
     "publish_popularity",
     "publish_slo",
     "publish_timeline",
@@ -250,6 +288,7 @@ __all__ = [
     "slo_from_trace",
     "snapshots_to_openmetrics",
     "span",
+    "span_forest",
     "span_tree",
     "span_wrap",
     "sparkline",
@@ -259,6 +298,8 @@ __all__ = [
     "total_requests_from_metrics",
     "trace_summary",
     "unknown_events",
+    "use_causal",
+    "use_context",
     "use_popularity",
     "use_slo",
     "use_timeline",
@@ -266,5 +307,6 @@ __all__ = [
     "zipf_alpha_from_counts",
     "validate_manifest",
     "write_manifest",
+    "write_causal_chrome_trace",
     "write_chrome_trace",
 ]

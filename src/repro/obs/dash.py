@@ -14,12 +14,16 @@ state, and :func:`render_frame` draws the board as text:
 * active SLO alerts (opened by ``slo_breach``, cleared by
   ``slo_recovered``) and per-objective budget remaining;
 * rolling latency percentiles over a bounded window of recent
-  ``read_done`` completions.
+  ``read_done`` completions;
+* the causal critical-path edge split (queue/service/transfer/join
+  seconds summed over each request's critical chain), folded from
+  ``cspan`` span-tree events.
 
 Folding is incremental and bounded-memory, so following a live
 million-request trace is safe.  :func:`dash_from_manifest` builds the
 same board from a finished run manifest instead (schema v2+ sections:
-``timelines``, ``popularity``, ``slo``, plus the metrics snapshot), so
+``timelines``, ``popularity``, ``slo``, ``causal``, plus the metrics
+snapshot), so
 ``repro dash results/fig13.json`` works without a trace.
 
 Rendering has two modes: a TTY mode that clears the screen between
@@ -68,6 +72,8 @@ class _SchemeState:
         "queue_depth",
         "window_bytes",
         "last_ts",
+        "crit_edges",
+        "crit_requests",
     )
 
     def __init__(self, scheme: str) -> None:
@@ -86,6 +92,11 @@ class _SchemeState:
         self.queue_depth: float | None = None
         self.window_bytes: float | None = None
         self.last_ts = 0.0
+        #: edge name -> critical-path seconds summed over requests.
+        self.crit_edges: dict[str, float] = {
+            "queue": 0.0, "service": 0.0, "transfer": 0.0, "join": 0.0
+        }
+        self.crit_requests = 0
 
 
 class DashBoard:
@@ -163,6 +174,25 @@ class DashBoard:
                 st.queue_depth = float(record["queue_depth_mean"])
             if "bytes" in record:
                 st.window_bytes = float(record["bytes"])
+        elif kind == ev.CSPAN:
+            # Causal span trees: the root counts the request, the
+            # critical fetch contributes queue/service/transfer seconds,
+            # the join span the residual join edge.  O(1) state per
+            # scheme, so following a million-request trace stays cheap.
+            st = self.state(str(record.get("scheme", "?")))
+            name = record.get("name")
+            if name == "request":
+                st.crit_requests += 1
+            elif name == "fetch" and record.get("critical"):
+                st.crit_edges["queue"] += float(record.get("queue_s", 0.0))
+                st.crit_edges["service"] += float(
+                    record.get("service_s", 0.0)
+                )
+                st.crit_edges["transfer"] += float(
+                    record.get("transfer_s", 0.0)
+                )
+            elif name == "join":
+                st.crit_edges["join"] += float(record.get("join_s", 0.0))
         elif kind == ev.SIMULATION_END:
             st = self.state(str(record.get("scheme", "?")))
             n = record.get("n_servers")
@@ -219,6 +249,14 @@ def dash_from_manifest(manifest: Mapping[str, Any]) -> DashBoard:
         st = board.state(str(section.get("scheme", "?")))
         for entry in section.get("top") or []:
             st.hot.update(int(entry["file_id"]), float(entry["count"]))
+    for section in manifest.get("causal") or []:
+        st = board.state(str(section.get("scheme", "?")))
+        edges = section.get("edges") or {}
+        st.crit_edges["queue"] += float(edges.get("queue_s", 0.0))
+        st.crit_edges["service"] += float(edges.get("service_s", 0.0))
+        st.crit_edges["transfer"] += float(edges.get("transfer_s", 0.0))
+        st.crit_edges["join"] += float(edges.get("join_s", 0.0))
+        st.crit_requests += int(edges.get("requests", 0))
     for section in manifest.get("slo") or []:
         st = board.state(str(section.get("scheme", "?")))
         for objective in section.get("objectives", ()):
@@ -289,6 +327,16 @@ def render_frame(
             if st.window_bytes is not None:
                 parts.append(f"window_bytes={_fmt_bytes(st.window_bytes)}")
             lines.append("  ".join(parts))
+        crit_total = sum(st.crit_edges.values())
+        if st.crit_requests and crit_total > 0:
+            split = "  ".join(
+                f"{edge}={seconds / crit_total:.1%}"
+                for edge, seconds in st.crit_edges.items()
+            )
+            lines.append(
+                f"critical path ({st.crit_requests} requests, "
+                f"{crit_total:.1f}s): {split}"
+            )
         loads = st.server_bytes
         busy = loads[loads > 0]
         if busy.size:

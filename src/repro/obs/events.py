@@ -23,6 +23,7 @@ __all__ = [
     "CORE_EVENTS",
     "POPULARITY_EVENTS",
     "SLO_EVENTS",
+    "CAUSAL_EVENTS",
 ]
 
 # -- simulator (repro.cluster) ------------------------------------------------
@@ -41,6 +42,7 @@ WORKER_CRASH = "worker_crash"
 FILE_REGISTER = "file_register"
 FILE_UNREGISTER = "file_unregister"
 FILE_RELOCATE = "file_relocate"
+RECOVERY = "recovery"  # lineage recompute of a lost file: file_id, wall_s
 
 # -- control plane (repro.core) -----------------------------------------------
 SCALE_ITER = "scale_iter"  # one Algorithm 1 ladder step: alpha, bound
@@ -63,6 +65,9 @@ SLO_RECOVERED = "slo_recovered"  # burn-rate alert closed: objective, severity
 SPAN = "span"  # hierarchical wall-clock span: name, span_id, parent, wall_s
 PROFILE = "profile"  # legacy flat wall-clock span: name, wall_s
 
+# -- causal tracing (repro.obs.causal) ----------------------------------------
+CSPAN = "cspan"  # causal span: name, trace_id, span_id, parent_id, edges
+
 SIMULATOR_EVENTS = (READ, READ_DONE, SIMULATION_END, TIMELINE_WINDOW)
 STORE_EVENTS = (
     BLOCK_PUT,
@@ -74,6 +79,7 @@ STORE_EVENTS = (
     FILE_REGISTER,
     FILE_UNREGISTER,
     FILE_RELOCATE,
+    RECOVERY,
 )
 CORE_EVENTS = (
     SCALE_ITER,
@@ -85,6 +91,7 @@ CORE_EVENTS = (
 )
 POPULARITY_EVENTS = (POPULARITY_WINDOW, DRIFT, HOTSPOT)
 SLO_EVENTS = (SLO_BREACH, SLO_RECOVERED)
+CAUSAL_EVENTS = (CSPAN,)
 
 EVENT_LAYER: dict[str, str] = {
     **{name: "simulator" for name in SIMULATOR_EVENTS},
@@ -92,6 +99,7 @@ EVENT_LAYER: dict[str, str] = {
     **{name: "core" for name in CORE_EVENTS},
     **{name: "popularity" for name in POPULARITY_EVENTS},
     **{name: "slo" for name in SLO_EVENTS},
+    **{name: "causal" for name in CAUSAL_EVENTS},
     SPAN: "profiling",
     PROFILE: "profiling",
 }

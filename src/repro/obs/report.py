@@ -193,6 +193,23 @@ def render_report(manifests: dict[str, dict[str, Any]]) -> str:
         if slo_rows:
             lines += ["", "SLOs (burn-rate evaluation):", ""]
             lines.append(_markdown_table(slo_rows))
+        causal_rows = [
+            {
+                "scheme": s.get("scheme", "?"),
+                "requests": s.get("n_requests", 0),
+                "conservation": (
+                    "ok" if (s.get("conservation") or {}).get("ok") else "NO"
+                ),
+                "queue_s": (s.get("edges") or {}).get("queue_s", 0.0),
+                "service_s": (s.get("edges") or {}).get("service_s", 0.0),
+                "transfer_s": (s.get("edges") or {}).get("transfer_s", 0.0),
+                "join_s": (s.get("edges") or {}).get("join_s", 0.0),
+            }
+            for s in m.get("causal") or []
+        ]
+        if causal_rows:
+            lines += ["", "Critical path (causal edge totals):", ""]
+            lines.append(_markdown_table(causal_rows))
     return "\n".join(lines) + "\n"
 
 

@@ -9,10 +9,10 @@ mechanically.  ``repro report`` (:mod:`repro.obs.report`) aggregates and
 diffs these files; CI uploads them as artifacts so the perf trajectory
 accumulates.
 
-Schema (version 5) — one flat JSON object:
+Schema (version 6) — one flat JSON object:
 
 ===================  ==========================================================
-``schema_version``   ``5``
+``schema_version``   ``6``
 ``experiment``       experiment name (``fig10``, ``theorem1``, ...)
 ``created_unix``     ``time.time()`` at manifest build
 ``git_sha``          ``git rev-parse HEAD`` or ``None`` outside a checkout
@@ -51,11 +51,18 @@ Schema (version 5) — one flat JSON object:
                      accounting plus burn-rate breach/recovery alerts.
                      Empty list when the run evaluated none.  New in
                      version 5.
+``causal``           causal critical-path sections published during the
+                     run (:mod:`repro.obs.causal`): per-scheme edge-type
+                     aggregation, conservation-invariant check, and the
+                     slowest-K requests with their critical chains.
+                     Empty list when the run collected none.  New in
+                     version 6.
 ===================  ==========================================================
 
 Older manifests still load: readers treat a missing ``timelines`` (v1),
-``popularity`` (v1/v2), or ``slo`` (v1-v4) as an empty list, and missing
-``peak_rss_bytes``/``total_requests`` (v1-v3) as unknown.
+``popularity`` (v1/v2), ``slo`` (v1-v4), or ``causal`` (v1-v5) as an
+empty list, and missing ``peak_rss_bytes``/``total_requests`` (v1-v3) as
+unknown.
 
 :func:`validate_manifest` enforces this shape; :func:`load_manifest`
 validates on read so a corrupt or foreign JSON file fails loudly rather
@@ -86,10 +93,10 @@ __all__ = [
     "write_manifest",
 ]
 
-MANIFEST_SCHEMA_VERSION = 5
+MANIFEST_SCHEMA_VERSION = 6
 
 #: schema versions this build can read.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 #: required key -> accepted types (``None`` entries listed explicitly).
 _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
@@ -114,6 +121,7 @@ _VERSIONED_FIELDS: dict[str, tuple[int, tuple[type, ...]]] = {
     "peak_rss_bytes": (4, (int, float, type(None))),
     "total_requests": (4, (int,)),
     "slo": (5, (list,)),
+    "causal": (6, (list,)),
 }
 
 
@@ -195,6 +203,7 @@ def build_manifest(
     timelines: Iterable[dict[str, Any]] = (),
     popularity: Iterable[dict[str, Any]] = (),
     slo: Iterable[dict[str, Any]] = (),
+    causal: Iterable[dict[str, Any]] = (),
     peak_rss: int | None = None,
     total_requests: int | None = None,
 ) -> dict[str, Any]:
@@ -203,8 +212,9 @@ def build_manifest(
     ``spans`` accepts :class:`~repro.obs.spans.SpanRecord` objects or
     plain dicts; ``config`` is hashed with :func:`config_hash`;
     ``timelines`` takes sections from :mod:`repro.obs.timeline`,
-    ``popularity`` sections from :mod:`repro.obs.popularity`, and
-    ``slo`` sections from :mod:`repro.obs.slo`.
+    ``popularity`` sections from :mod:`repro.obs.popularity`,
+    ``slo`` sections from :mod:`repro.obs.slo`, and ``causal``
+    critical-path sections from :mod:`repro.obs.causal`.
     ``peak_rss`` defaults to :func:`peak_rss_bytes` measured at build
     time; ``total_requests`` defaults to summing the ``sim.requests``
     counters in ``metrics``.
@@ -231,6 +241,7 @@ def build_manifest(
         "timelines": [dict(t) for t in timelines],
         "popularity": [dict(p) for p in popularity],
         "slo": [dict(s) for s in slo],
+        "causal": [dict(c) for c in causal],
         "peak_rss_bytes": peak_rss,
         "total_requests": int(total_requests),
     }
@@ -305,6 +316,12 @@ def validate_manifest(manifest: Any) -> dict[str, Any]:
         if not isinstance(section, dict) or "scheme" not in section:
             raise ValueError(
                 f"manifest slo section {i} must be an object with a scheme"
+            )
+    for i, section in enumerate(manifest.get("causal", ())):
+        if not isinstance(section, dict) or "scheme" not in section:
+            raise ValueError(
+                f"manifest causal section {i} must be an object "
+                "with a scheme"
             )
     return manifest
 

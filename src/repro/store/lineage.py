@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.causal import causal_span
+from repro.obs.metrics import get_registry
+
 __all__ = ["LineageRecord", "LineageGraph"]
 
 
@@ -74,14 +77,23 @@ class LineageGraph:
         parents are recovered recursively through their own lineage.
         Raises ``KeyError`` when a needed file has neither source bytes nor
         lineage.
+
+        Each recursion level opens one ``lineage.recover`` causal span, so
+        a traced recovery shows the full bottom-up recomputation chain
+        (which parents had to be rebuilt, and how deep the DAG went).
         """
-        available = read_source(file_id)
-        if available is not None:
-            return available
-        rec = self._records.get(file_id)
-        if rec is None:
-            raise KeyError(
-                f"file {file_id} is lost: not persisted and has no lineage"
-            )
-        parent_bytes = [self.recover(p, read_source) for p in rec.parents]
-        return rec.recompute(parent_bytes)
+        with causal_span("lineage.recover", file_id=file_id):
+            available = read_source(file_id)
+            if available is not None:
+                return available
+            rec = self._records.get(file_id)
+            if rec is None:
+                raise KeyError(
+                    f"file {file_id} is lost: not persisted and has no "
+                    "lineage"
+                )
+            get_registry().counter("lineage.recomputes").inc()
+            parent_bytes = [
+                self.recover(p, read_source) for p in rec.parents
+            ]
+            return rec.recompute(parent_bytes)

@@ -20,6 +20,7 @@ from repro.obs import events as ev
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.obs.popularity import PopularityMonitor
+from repro.obs.causal import causal_span
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 
@@ -96,7 +97,8 @@ class Master:
         return len(self._files)
 
     def meta(self, file_id: int) -> FileMeta:
-        return self._files[file_id]
+        with causal_span("master.lookup", file_id=file_id):
+            return self._files[file_id]
 
     def files(self) -> list[FileMeta]:
         return list(self._files.values())
@@ -110,7 +112,10 @@ class Master:
                 f"cannot place {k} partitions on {self.n_workers} workers "
                 "without co-locating"
             )
-        return list(self._rng.choice(self.n_workers, size=k, replace=False))
+        with causal_span("master.place", strategy="random", k=k):
+            return list(
+                self._rng.choice(self.n_workers, size=k, replace=False)
+            )
 
     def choose_least_loaded_workers(self, k: int) -> list[int]:
         """``k`` distinct least-loaded workers (Algorithm 2's greedy rule)."""
@@ -118,7 +123,8 @@ class Master:
             raise ValueError(
                 f"cannot place {k} partitions on {self.n_workers} workers"
             )
-        return list(np.argsort(self.placed_bytes, kind="stable")[:k])
+        with causal_span("master.place", strategy="least_loaded", k=k):
+            return list(np.argsort(self.placed_bytes, kind="stable")[:k])
 
     # -- registration ------------------------------------------------------
 

@@ -22,9 +22,15 @@ from contextlib import suppress
 
 import numpy as np
 
+import time
+
 from repro.common import make_rng
 from repro.ec.codec import RSFileCodec, split_bytes, unsplit_bytes
+from repro.obs import events as ev
+from repro.obs.causal import causal_span
+from repro.obs.metrics import get_registry
 from repro.obs.spans import span
+from repro.obs.tracing import get_tracer
 from repro.store.lineage import LineageGraph
 from repro.store.master import FileMeta, Master, PartitionLocation
 from repro.store.under_store import UnderStore
@@ -64,7 +70,9 @@ class StoreClient:
         placement: str = "random",
     ) -> FileMeta:
         """Plain-partition write: ``k`` contiguous partitions, no parity."""
-        with span("store.write", kind="partitioned"):
+        with span("store.write", kind="partitioned"), causal_span(
+            "store.put", file_id=file_id, kind="partitioned", k=k
+        ):
             worker_ids = self._choose(k, placement)
             parts = split_bytes(data, k)
             locations = []
@@ -77,7 +85,9 @@ class StoreClient:
         self, file_id: int, data: bytes, k: int = 10, n: int = 14
     ) -> FileMeta:
         """Erasure-coded write: ``n`` Reed-Solomon shards on ``n`` workers."""
-        with span("store.write", kind="ec"):
+        with span("store.write", kind="ec"), causal_span(
+            "store.put", file_id=file_id, kind="ec", k=k, n=n
+        ):
             codec = RSFileCodec(k=k, n=n)
             shards, orig_len = codec.encode_file(data)
             worker_ids = self._choose(n, "random")
@@ -96,7 +106,9 @@ class StoreClient:
         """Whole-file copies: ``replicas`` groups on distinct workers each."""
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
-        with span("store.write", kind="replicated"):
+        with span("store.write", kind="replicated"), causal_span(
+            "store.put", file_id=file_id, kind="replicated", replicas=replicas
+        ):
             groups: list[list[PartitionLocation]] = []
             flat: list[PartitionLocation] = []
             for r in range(replicas):
@@ -113,7 +125,7 @@ class StoreClient:
 
     def read(self, file_id: int) -> bytes:
         """Read a file through whichever scheme wrote it."""
-        with span("store.read"):
+        with span("store.read"), causal_span("store.read", file_id=file_id):
             meta = self.master.meta(file_id)
             self.master.record_access(file_id)
             if meta.ec_k is not None:
@@ -183,6 +195,7 @@ class StoreClient:
         layout so subsequent reads hit memory again.
         """
         self.recoveries += 1
+        get_registry().counter("store.recoveries").inc()
 
         def read_source(fid: int) -> bytes | None:
             if self.under_store.is_persisted(fid):
@@ -194,8 +207,18 @@ class StoreClient:
                     return None
             return None
 
-        data = self.lineage.recover(meta.file_id, read_source)
-        self._recache(meta, data)
+        t0 = time.perf_counter()
+        with causal_span("store.recover", file_id=meta.file_id):
+            data = self.lineage.recover(meta.file_id, read_source)
+            self._recache(meta, data)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                ev.RECOVERY,
+                file_id=meta.file_id,
+                bytes=len(data),
+                wall_s=time.perf_counter() - t0,
+            )
         return data
 
     def _recache(self, meta: FileMeta, data: bytes) -> None:
@@ -236,7 +259,9 @@ class StoreClient:
         meta = self.master.meta(file_id)
         if meta.ec_k is not None or meta.replica_groups:
             raise ValueError("repartition applies to plain-partitioned files")
-        with span("store.repartition", new_k=new_k):
+        with span("store.repartition", new_k=new_k), causal_span(
+            "store.repartition", file_id=file_id, new_k=new_k
+        ):
             return self._repartition(meta, file_id, new_k, placement)
 
     def _repartition(

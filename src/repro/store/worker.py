@@ -17,6 +17,7 @@ as a miss.
 from __future__ import annotations
 
 from repro.obs import events as ev
+from repro.obs.causal import causal_span
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.store.lru import LRUCache
@@ -64,19 +65,22 @@ class Worker:
         self.evicted_blocks: list[BlockKey] = []
 
     def _drop(self, key: BlockKey, _size: float) -> None:
-        self._blocks.pop(key, None)
-        self.evicted_blocks.append(key)
-        get_registry().counter(
-            "store.block_evictions", worker_id=self.worker_id
-        ).inc()
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.event(
-                ev.BLOCK_EVICT,
-                worker_id=self.worker_id,
-                file_id=key[0],
-                index=key[1],
-            )
+        with causal_span(
+            "worker.evict", worker_id=self.worker_id, file_id=key[0]
+        ):
+            self._blocks.pop(key, None)
+            self.evicted_blocks.append(key)
+            get_registry().counter(
+                "store.block_evictions", worker_id=self.worker_id
+            ).inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    ev.BLOCK_EVICT,
+                    worker_id=self.worker_id,
+                    file_id=key[0],
+                    index=key[1],
+                )
 
     def _miss(self, op: str, file_id: int, index: int) -> BlockNotFound:
         get_registry().counter(
@@ -108,6 +112,18 @@ class Worker:
 
     def put_block(self, file_id: int, index: int, data: bytes) -> list[BlockKey]:
         """Store a block; returns keys evicted to make room."""
+        with causal_span(
+            "worker.write",
+            worker_id=self.worker_id,
+            file_id=file_id,
+            index=index,
+            bytes=len(data),
+        ):
+            return self._put_block(file_id, index, data)
+
+    def _put_block(
+        self, file_id: int, index: int, data: bytes
+    ) -> list[BlockKey]:
         key = (file_id, index)
         self._blocks[key] = bytes(data)
         reg = get_registry()
@@ -141,6 +157,15 @@ class Worker:
     def get_block(self, file_id: int, index: int) -> bytes:
         """Fetch a block; raises :class:`BlockNotFound` when absent
         (evicted/lost) and counts the miss in the metrics registry."""
+        with causal_span(
+            "worker.read",
+            worker_id=self.worker_id,
+            file_id=file_id,
+            index=index,
+        ):
+            return self._get_block(file_id, index)
+
+    def _get_block(self, file_id: int, index: int) -> bytes:
         key = (file_id, index)
         data = self._blocks.get(key)
         if data is None:

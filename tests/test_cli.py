@@ -629,14 +629,14 @@ def test_report_openmetrics(tmp_path, capsys):
 
 def test_experiments_forwards_slo(tmp_path):
     """The acceptance scenario: a fig13-style run under a deliberately
-    tight p99 objective must land a populated schema-v5 slo section
+    tight p99 objective must land a populated slo section
     with at least one breach."""
     assert main(
         ["experiments", "--only", "fig13", "--scale", "0.05",
          "--out", str(tmp_path), "--slo", "p99<0.001"]
     ) == 0
     manifest = json.loads((tmp_path / "fig13.json").read_text())
-    assert manifest["schema_version"] == 5
+    assert manifest["schema_version"] == 6
     assert manifest["slo"]
     assert sum(s["breaches"] for s in manifest["slo"]) >= 1
     assert manifest["config"]["slo"] == "p99<0.001"
@@ -758,3 +758,112 @@ def test_stats_empty_trace_fails_cleanly(tmp_path, capsys):
     empty.write_text("")
     assert main(["stats", str(empty)]) == 1
     assert "no read events" in capsys.readouterr().err
+
+
+def _causal_trace(tmp_path, name="causal.jsonl"):
+    out = tmp_path / name
+    assert main(
+        ["trace", "--schemes", "sp", "--causal", "--out", str(out), *FAST]
+    ) == 0
+    return out
+
+
+def test_critical_renders_trace(tmp_path, capsys):
+    trace = _causal_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["critical", str(trace), "--top", "3"]) == 0
+    printed = capsys.readouterr().out
+    assert "conservation ok" in printed
+    assert "300 DAG(s) rebuilt, 0 dropped" in printed
+    assert "slowest 3 critical paths" in printed
+    assert "queue_s" in printed
+
+
+def test_critical_check_and_chrome_export(tmp_path, capsys):
+    trace = _causal_trace(tmp_path)
+    chrome = tmp_path / "spans.chrome.json"
+    capsys.readouterr()
+    assert main(
+        ["critical", str(trace), "--check", "--chrome", str(chrome)]
+    ) == 0
+    printed = capsys.readouterr().out
+    assert "check ok" in printed
+    assert "all span trees complete" in printed
+    events = json.loads(chrome.read_text())["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"X", "s", "f"} <= phases
+    flows = [e for e in events if e["ph"] in ("s", "f")]
+    assert len([e for e in flows if e["ph"] == "s"]) == len(flows) / 2
+
+
+def test_critical_reads_manifest_sections(tmp_path, capsys):
+    assert main(
+        ["simulate", "--scheme", "sp", "--causal", "--json", *FAST]
+    ) == 0
+    section = json.loads(capsys.readouterr().out)["causal"]
+    manifest = tmp_path / "fig.json"
+    manifest.write_text(json.dumps({"causal": [section]}))
+    assert main(["critical", str(manifest)]) == 0
+    assert "conservation ok" in capsys.readouterr().out
+    # manifests carry aggregates, not span trees — no Chrome export
+    assert main(
+        ["critical", str(manifest), "--chrome", str(tmp_path / "c.json")]
+    ) == 2
+    assert "needs a JSONL trace" in capsys.readouterr().err
+
+
+def test_critical_check_flags_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps([{
+        "scheme": "sp-cache",
+        "conservation": {"ok": False, "max_rel_err": 0.5},
+        "edges": {}, "chains": [],
+    }]))
+    assert main(["critical", str(bad), "--check"]) == 1
+    assert "conservation violated" in capsys.readouterr().err
+
+
+def test_critical_bad_inputs_fail_cleanly(tmp_path, capsys):
+    assert main(["critical", str(tmp_path / "missing.json")]) == 2
+    assert "no such file" in capsys.readouterr().err
+    # a trace without cspan events yields no causal sections
+    plain = tmp_path / "plain.jsonl"
+    main(["trace", "--schemes", "sp", "--out", str(plain), *FAST])
+    capsys.readouterr()
+    assert main(["critical", str(plain)]) == 2
+    capsys.readouterr()
+
+
+def test_simulate_causal_table_and_compare_column(capsys):
+    assert main(["simulate", "--scheme", "sp", "--causal", *FAST]) == 0
+    assert "critical-path edges" in capsys.readouterr().out
+    assert main(["compare", "--schemes", "sp,single", "--causal", *FAST]) == 0
+    assert "crit_ok" in capsys.readouterr().out
+
+
+def test_stats_layered_event_table_with_store_kinds(tmp_path, capsys):
+    """The traced-event table names each kind's layer, including the
+    store-plane kinds and causal spans; recoveries get a summary line."""
+    trace = _causal_trace(tmp_path)
+    with trace.open("a") as fh:
+        fh.write(
+            '{"event": "recovery", "ts": 1.0, "file_id": 7,'
+            ' "bytes": 100, "wall_s": 0.5}\n'
+        )
+        fh.write('{"event": "block_put", "ts": 0.5, "file_id": 7}\n')
+        fh.write('{"event": "block_evict", "ts": 0.6, "file_id": 3}\n')
+    capsys.readouterr()
+    assert main(["stats", str(trace), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["recoveries"] == {"count": 1, "bytes": 100, "wall_s": 0.5}
+    assert payload["unknown_events"] == {}
+    assert main(["stats", str(trace)]) == 0
+    printed = capsys.readouterr().out
+    assert "lineage recoveries: 1 file(s), 100 bytes" in printed
+    for layer, kind in (
+        ("store", "recovery"), ("store", "block_put"),
+        ("store", "block_evict"), ("causal", "cspan"),
+        ("simulator", "read"),
+    ):
+        assert kind in printed, kind
+        assert layer in printed, layer

@@ -102,6 +102,27 @@ def test_enabled_slo_overhead_under_5_percent():
     )
 
 
+def test_enabled_causal_overhead_under_5_percent():
+    """Causal collection *on* must stay under the 5% budget: the hot
+    path is the same buffered-append recorder interface the timeline
+    collector uses; edge classification and the conservation check are
+    one vectorized finalize pass (best-of retries absorb scheduler
+    noise on loaded CI boxes)."""
+    _load_bench()  # bench_causal_overhead imports from it
+    bench = _load_module("bench_causal_overhead")
+    ratio = float("inf")
+    for attempt in range(4):
+        rows = bench.run_causal_overhead(n_requests=5000, repeats=5)
+        ratio = min(ratio, rows[1]["vs_off"])
+        if ratio < 1.05:
+            break
+    assert ratio < 1.05, (
+        f"enabled causal overhead {100 * (ratio - 1):.1f}% exceeds the 5% "
+        f"budget (off {rows[0]['seconds']:.4f}s, "
+        f"on {rows[1]['seconds']:.4f}s)"
+    )
+
+
 def test_enabled_timeline_overhead_under_budget():
     """Timelines *on* at the default window width must stay well inside
     the 25% enabled-path budget on the fig13-like PS workload (the bench

@@ -90,6 +90,8 @@ def test_write_and_load_roundtrip(tmp_path):
         {"popularity": [{"no": "scheme"}]},
         {"slo": "not a list"},
         {"slo": [{"no": "scheme"}]},
+        {"causal": "not a list"},
+        {"causal": [{"no": "scheme"}]},
         {"peak_rss_bytes": "big"},
         {"peak_rss_bytes": -1},
         {"total_requests": -5},
@@ -120,7 +122,26 @@ def test_build_manifest_carries_timeline_sections():
     section = {"scheme": "sp-cache", "engine": "ps", "n_windows": 3}
     m = build_manifest("figZ", [], wall_s=0.0, timelines=[section])
     assert m["timelines"] == [section]
-    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 5
+    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 6
+
+
+def test_build_manifest_carries_causal_sections():
+    section = {
+        "scheme": "sp-cache",
+        "engine": "fifo",
+        "conservation": {"ok": True, "max_rel_err": 0.0},
+    }
+    m = build_manifest("figZ", [], wall_s=0.0, causal=[section])
+    assert m["causal"] == [section]
+    assert validate_manifest(m) is m
+
+
+def test_v5_manifest_without_causal_still_loads():
+    """Manifests written before the causal key keep validating."""
+    m = _manifest()
+    m["schema_version"] = 5
+    del m["causal"]
+    assert validate_manifest(m) is m
 
 
 def test_build_manifest_carries_slo_sections():
