@@ -37,17 +37,29 @@ from repro.cluster.metrics import (
 from repro.cluster.network import GoodputModel
 from repro.cluster.simulation import SimulationConfig, SimulationResult, simulate_reads
 from repro.cluster.stragglers import StragglerInjector
+from repro.cluster.topology import (
+    ChurnSchedule,
+    ClusterTopology,
+    EpochView,
+    MembershipEvent,
+    as_cluster_spec,
+)
 
 __all__ = [
+    "ChurnSchedule",
+    "ClusterTopology",
+    "EpochView",
     "EventQueue",
     "GoodputModel",
     "LatencySummary",
+    "MembershipEvent",
     "ReadOp",
     "ServerDiscipline",
     "SimulationConfig",
     "SimulationResult",
     "StragglerInjector",
     "WriteOp",
+    "as_cluster_spec",
     "available_disciplines",
     "coefficient_of_variation",
     "imbalance_factor",

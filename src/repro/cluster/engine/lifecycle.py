@@ -31,6 +31,7 @@ from repro.cluster.metrics import (
 )
 from repro.cluster.network import GoodputModel
 from repro.cluster.stragglers import StragglerInjector
+from repro.cluster.topology import ClusterTopology, as_cluster_spec
 from repro.common import ClusterSpec, make_rng
 from repro.obs import events as ev
 from repro.obs.causal import (
@@ -307,9 +308,10 @@ def _validate_inputs(trace: object, planner: object, cluster: object) -> None:
             f"trace must be an ArrivalTrace or WorkloadStream, "
             f"got {type(trace).__name__}"
         )
-    if not isinstance(cluster, ClusterSpec):
+    if not isinstance(cluster, (ClusterSpec, ClusterTopology)):
         raise TypeError(
-            f"cluster must be a ClusterSpec, got {type(cluster).__name__}"
+            f"cluster must be a ClusterSpec or ClusterTopology, "
+            f"got {type(cluster).__name__}"
         )
     if not callable(getattr(planner, "plan_read", None)) or not callable(
         getattr(planner, "footprint", None)
@@ -336,7 +338,7 @@ class RequestLifecycle:
         self,
         trace: ArrivalTrace | WorkloadStream,
         planner,
-        cluster: ClusterSpec,
+        cluster: ClusterSpec | ClusterTopology,
         config: SimulationConfig,
         engine: str,
     ) -> None:
@@ -349,6 +351,16 @@ class RequestLifecycle:
                 f"got {type(config).__name__}"
             )
         self.planner = planner
+        #: The epoch-versioned membership this run was launched against
+        #: (``None`` when launched with a plain :class:`ClusterSpec`).
+        #: The queueing below always runs against ``self.cluster`` —
+        #: the topology's epoch-0 spec, byte-identical to a hand-built
+        #: spec for fixed topologies — while churn experiments
+        #: re-simulate per epoch and use ``topology`` for accounting.
+        self.topology: ClusterTopology | None = (
+            cluster if isinstance(cluster, ClusterTopology) else None
+        )
+        cluster = as_cluster_spec(cluster)
         self.cluster = cluster
         self.config = config
         self.engine = engine
@@ -393,6 +405,8 @@ class RequestLifecycle:
         self.tracer = config.tracer if config.tracer is not None else get_tracer()
         #: Hoisted enabled check — disabled tracing must stay free.
         self.emit = self.tracer.enabled
+        if self.emit and self.topology is not None:
+            self.topology.emit_events(self.tracer)
         self.scheme = planner_name(planner)
         timeline_config = (
             config.timeline

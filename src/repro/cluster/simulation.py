@@ -29,6 +29,7 @@ from repro.cluster.engine import (
     record_run_metrics,
     resolve_discipline,
 )
+from repro.cluster.topology import ClusterTopology
 from repro.common import ClusterSpec
 from repro.workloads.arrivals import ArrivalTrace
 from repro.workloads.streams import WorkloadStream
@@ -45,7 +46,7 @@ __all__ = [
 def simulate_reads(
     trace: ArrivalTrace | WorkloadStream,
     planner,
-    cluster: ClusterSpec,
+    cluster: ClusterSpec | ClusterTopology,
     config: SimulationConfig | None = None,
 ) -> SimulationResult:
     """Run a request trace against a placement policy on a cluster.
@@ -59,6 +60,13 @@ def simulate_reads(
     batched fifo fast path chunk by chunk (when ``config.batch_size`` or
     the ambient batch size is set) and are materialized for the heap
     disciplines.
+
+    ``cluster`` may be a static :class:`ClusterSpec` or an
+    epoch-versioned :class:`~repro.cluster.topology.ClusterTopology`; a
+    topology runs against its epoch-0 spec (byte-identical results for
+    fixed topologies) and additionally emits ``membership``/``epoch``
+    trace events when tracing is enabled.  Churn experiments
+    (``fig_churn``) re-simulate per epoch instead.
     """
     config = config or SimulationConfig()
     discipline = resolve_discipline(config.discipline)

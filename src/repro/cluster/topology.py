@@ -1,0 +1,471 @@
+"""First-class elastic cluster membership: epochs, churn, stable ids.
+
+Every layer of the reproduction used to receive a bare ``num_servers:
+int`` fixed for the lifetime of a run, which made the autoscaling /
+diurnal-load scenario class unreachable.  This module promotes membership
+to a value type:
+
+* a :class:`ClusterTopology` is an **epoch-versioned** view of the
+  cluster: epoch 0 is the initial membership, and every add/remove event
+  in its :class:`ChurnSchedule` opens a new :class:`EpochView` (events
+  sharing a timestamp fold into one epoch, like a batched autoscaler
+  step);
+* servers carry **stable ids** that survive membership changes — a
+  server removed in epoch 2 and never re-added keeps its id forever, and
+  an added server gets a fresh id rather than recycling one.  Placements
+  recorded against stable ids therefore stay meaningful across epochs,
+  which is what the epoch-aware repartition planner
+  (:func:`repro.core.repartition.plan_epoch_repartition`) and the
+  elastic byte store (:meth:`repro.store.StoreClient.apply_epoch`) rely
+  on;
+* each epoch exposes a plain :class:`~repro.common.ClusterSpec` over its
+  *active* servers, so every existing consumer (policies, the engine,
+  the latency model) keeps working unchanged — a fixed topology's
+  ``spec`` is byte-identical to the ``ClusterSpec`` it replaces, which
+  the golden parity tests pin;
+* when tracing is enabled, :meth:`ClusterTopology.emit_events` publishes
+  one ``membership`` event per add/remove and one ``epoch`` event per
+  epoch so replay, ``repro dash``, and the causal tooling can follow the
+  membership history alongside the data plane.
+
+Fixed-topology construction (:meth:`ClusterTopology.fixed` /
+:meth:`ClusterTopology.from_spec`) is the degenerate single-epoch case
+used for byte-identical compatibility with existing runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import ClusterSpec, Gbps, validate_server_count
+
+__all__ = [
+    "ChurnSchedule",
+    "ClusterTopology",
+    "EpochView",
+    "MembershipEvent",
+    "as_cluster_spec",
+]
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership change: a server joins or leaves at time ``t``.
+
+    ``server_id`` is the stable id affected.  For schedule-level events
+    built with :meth:`ChurnSchedule.add` the id is ``None`` until the
+    topology assigns a fresh one; resolved events always carry it.
+    """
+
+    t: float
+    kind: str  # "add" | "remove"
+    server_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "remove"):
+            raise ValueError(
+                f"event kind must be 'add' or 'remove', got {self.kind!r}"
+            )
+        if not (self.t >= 0 and np.isfinite(self.t)):
+            raise ValueError("event time must be finite and >= 0")
+
+
+class ChurnSchedule:
+    """An ordered add/remove script the topology resolves into epochs.
+
+    ``add(t, count)`` joins ``count`` fresh servers at ``t`` (ids are
+    assigned by the topology); ``remove(t, count)`` retires the ``count``
+    most recently added servers still active at ``t`` — LIFO, matching
+    how an autoscaler drains its newest instances first; ``remove_ids``
+    retires specific stable ids.  :meth:`diurnal` builds the
+    autoscaling-under-diurnal-load script ROADMAP item 2 calls for: scale
+    up in ``steps`` increments, hold, then scale back down.
+    """
+
+    def __init__(self) -> None:
+        self._ops: list[tuple[float, str, object]] = []
+
+    def add(self, t: float, count: int = 1) -> "ChurnSchedule":
+        if count < 1:
+            raise ValueError("add count must be >= 1")
+        self._ops.append((float(t), "add", int(count)))
+        return self
+
+    def remove(self, t: float, count: int = 1) -> "ChurnSchedule":
+        if count < 1:
+            raise ValueError("remove count must be >= 1")
+        self._ops.append((float(t), "remove", int(count)))
+        return self
+
+    def remove_ids(self, t: float, server_ids) -> "ChurnSchedule":
+        ids = tuple(int(s) for s in server_ids)
+        if not ids:
+            raise ValueError("remove_ids needs at least one server id")
+        self._ops.append((float(t), "remove_ids", ids))
+        return self
+
+    @property
+    def ops(self) -> list[tuple[float, str, object]]:
+        """The raw operations in insertion order (stable-sorted by time)."""
+        return sorted(self._ops, key=lambda op: op[0])
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @staticmethod
+    def diurnal(
+        *,
+        t_peak: float,
+        t_trough: float,
+        amplitude: int,
+        steps: int = 1,
+    ) -> "ChurnSchedule":
+        """Scale up by ``amplitude`` servers toward the peak, back down after.
+
+        ``steps`` splits each ramp into that many equal add/remove
+        batches, spaced evenly across ``[t_peak, t_trough)`` — the
+        classic diurnal autoscaling sawtooth.
+        """
+        if t_trough <= t_peak:
+            raise ValueError("t_trough must come after t_peak")
+        if amplitude < 1:
+            raise ValueError("amplitude must be >= 1")
+        if steps < 1 or amplitude % steps:
+            raise ValueError("steps must divide amplitude")
+        schedule = ChurnSchedule()
+        per_step = amplitude // steps
+        up_dt = (t_trough - t_peak) / (2 * steps)
+        for i in range(steps):
+            schedule.add(t_peak + i * up_dt, per_step)
+        down_start = t_peak + (t_trough - t_peak) / 2
+        for i in range(steps):
+            schedule.remove(down_start + i * up_dt, per_step)
+        return schedule
+
+
+@dataclass(frozen=True)
+class EpochView:
+    """One epoch's frozen membership.
+
+    ``server_ids`` are the active stable ids, ascending.  ``spec`` is the
+    :class:`~repro.common.ClusterSpec` over exactly those servers (dense
+    0..N-1 indexing); ``dense_of`` maps a stable id to its dense index in
+    that spec and ``stable_of`` maps back.  ``added``/``removed`` name
+    the stable ids that changed relative to the previous epoch.
+    """
+
+    index: int
+    t_start: float
+    server_ids: tuple[int, ...]
+    spec: ClusterSpec
+    added: tuple[int, ...] = ()
+    removed: tuple[int, ...] = ()
+    dense_of: dict[int, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.server_ids)
+
+    @property
+    def stable_of(self) -> np.ndarray:
+        """Dense index -> stable id, shape ``(n_servers,)``."""
+        return np.asarray(self.server_ids, dtype=np.int64)
+
+    def is_active(self, server_id: int) -> bool:
+        return int(server_id) in self.dense_of
+
+    def to_dense(self, stable_ids: np.ndarray) -> np.ndarray:
+        """Map stable ids to this epoch's dense indices (vectorized)."""
+        return np.asarray(
+            [self.dense_of[int(s)] for s in np.asarray(stable_ids).ravel()],
+            dtype=np.int64,
+        )
+
+    def describe(self) -> dict:
+        """JSON-ready epoch summary for manifests and trace events."""
+        return {
+            "epoch": self.index,
+            "t_start": self.t_start,
+            "n_servers": self.n_servers,
+            "added": list(self.added),
+            "removed": list(self.removed),
+        }
+
+
+class ClusterTopology:
+    """Epoch-versioned cluster membership with stable server ids.
+
+    Built from an initial size plus an optional :class:`ChurnSchedule`;
+    the epoch list is resolved eagerly at construction, so a topology is
+    immutable afterwards and cheap to share.  ``id_space`` is the total
+    number of distinct stable ids across all epochs — the natural array
+    width for cross-epoch accounting (per-server bytes moved, the store
+    master's worker table).
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        schedule: ChurnSchedule | None = None,
+        *,
+        bandwidth: float | np.ndarray = Gbps,
+        capacity: float = float("inf"),
+        client_bandwidth: float | None = None,
+    ) -> None:
+        n_servers = validate_server_count(n_servers)
+        self._bandwidth_scalar = (
+            float(np.asarray(bandwidth).ravel()[0])
+            if np.asarray(bandwidth).size == 1
+            else None
+        )
+        init_bw = np.broadcast_to(
+            np.asarray(bandwidth, dtype=np.float64), (n_servers,)
+        ).copy()
+        #: stable id -> NIC bandwidth; grows as servers join.
+        self._bandwidth_of: dict[int, float] = {
+            s: float(init_bw[s]) for s in range(n_servers)
+        }
+        self._capacity = float(capacity)
+        self._client_bandwidth = client_bandwidth
+        self.schedule = schedule
+        self.epochs: list[EpochView] = []
+        self._build(n_servers, schedule)
+
+    # -- construction -------------------------------------------------
+
+    def _make_epoch(
+        self,
+        index: int,
+        t: float,
+        active: list[int],
+        added: tuple[int, ...],
+        removed: tuple[int, ...],
+    ) -> EpochView:
+        ids = tuple(sorted(active))
+        bw = np.asarray([self._bandwidth_of[s] for s in ids])
+        spec = ClusterSpec(
+            n_servers=len(ids),
+            # Preserve the scalar where the caller gave one so a fixed
+            # topology's spec is byte-identical to a hand-built
+            # ClusterSpec (dataclass equality included).
+            bandwidth=(
+                self._bandwidth_scalar
+                if self._bandwidth_scalar is not None
+                else bw
+            ),
+            capacity=self._capacity,
+            client_bandwidth=self._client_bandwidth,
+        )
+        return EpochView(
+            index=index,
+            t_start=float(t),
+            server_ids=ids,
+            spec=spec,
+            added=added,
+            removed=removed,
+            dense_of={s: i for i, s in enumerate(ids)},
+        )
+
+    def _build(self, n_servers: int, schedule: ChurnSchedule | None) -> None:
+        active = list(range(n_servers))
+        next_id = n_servers
+        join_order = list(range(n_servers))  # LIFO removal order
+        self.events: list[MembershipEvent] = []
+        self.epochs.append(self._make_epoch(0, 0.0, active, (), ()))
+        if schedule is None or not len(schedule):
+            return
+        ops = schedule.ops
+        # Group same-timestamp ops into one epoch (a batched scaler step).
+        i = 0
+        while i < len(ops):
+            t = ops[i][0]
+            added: list[int] = []
+            removed: list[int] = []
+            while i < len(ops) and ops[i][0] == t:
+                _, kind, arg = ops[i]
+                if kind == "add":
+                    for _ in range(int(arg)):
+                        sid = next_id
+                        next_id += 1
+                        active.append(sid)
+                        join_order.append(sid)
+                        if sid not in self._bandwidth_of:
+                            self._bandwidth_of[sid] = (
+                                self._bandwidth_scalar
+                                if self._bandwidth_scalar is not None
+                                else float(
+                                    np.mean(list(self._bandwidth_of.values()))
+                                )
+                            )
+                        added.append(sid)
+                        self.events.append(MembershipEvent(t, "add", sid))
+                elif kind == "remove":
+                    for _ in range(int(arg)):
+                        # Newest-first, matching autoscaler drain order.
+                        sid = next(
+                            s for s in reversed(join_order) if s in active
+                        )
+                        active.remove(sid)
+                        removed.append(sid)
+                        self.events.append(MembershipEvent(t, "remove", sid))
+                else:  # remove_ids
+                    for sid in arg:
+                        if sid not in active:
+                            raise ValueError(
+                                f"cannot remove server {sid}: not active "
+                                f"at t={t}"
+                            )
+                        active.remove(sid)
+                        removed.append(sid)
+                        self.events.append(MembershipEvent(t, "remove", sid))
+                i += 1
+            if not active:
+                raise ValueError(
+                    f"schedule empties the cluster at t={t}; at least one "
+                    "server must stay active"
+                )
+            self.epochs.append(
+                self._make_epoch(
+                    len(self.epochs), t, active, tuple(added), tuple(removed)
+                )
+            )
+
+    # -- fixed-topology constructors ----------------------------------
+
+    @staticmethod
+    def fixed(
+        n_servers: int,
+        *,
+        bandwidth: float | np.ndarray = Gbps,
+        capacity: float = float("inf"),
+        client_bandwidth: float | None = None,
+    ) -> "ClusterTopology":
+        """A single-epoch topology: the drop-in ``num_servers`` replacement."""
+        return ClusterTopology(
+            n_servers,
+            None,
+            bandwidth=bandwidth,
+            capacity=capacity,
+            client_bandwidth=client_bandwidth,
+        )
+
+    @staticmethod
+    def from_spec(spec: ClusterSpec) -> "ClusterTopology":
+        """Wrap an existing :class:`~repro.common.ClusterSpec` unchanged."""
+        scalar = (
+            float(spec.bandwidths[0])
+            if np.all(spec.bandwidths == spec.bandwidths[0])
+            else spec.bandwidths
+        )
+        return ClusterTopology.fixed(
+            spec.n_servers,
+            bandwidth=scalar,
+            capacity=spec.capacity,
+            client_bandwidth=spec.client_bandwidth,
+        )
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def is_fixed(self) -> bool:
+        return len(self.epochs) == 1
+
+    @property
+    def initial(self) -> EpochView:
+        return self.epochs[0]
+
+    @property
+    def final(self) -> EpochView:
+        return self.epochs[-1]
+
+    @property
+    def spec(self) -> ClusterSpec:
+        """Epoch 0's spec — what fixed-topology consumers see."""
+        return self.epochs[0].spec
+
+    @property
+    def n_servers(self) -> int:
+        """Epoch 0's server count — lets a topology stand in anywhere a
+        spec's ``n_servers`` is consulted (policy constructors etc.)."""
+        return self.epochs[0].n_servers
+
+    @property
+    def id_space(self) -> int:
+        """Total distinct stable ids ever active (array width for
+        cross-epoch per-server accounting)."""
+        return max(max(e.server_ids) for e in self.epochs) + 1
+
+    def epoch_at(self, t: float) -> EpochView:
+        """The epoch in force at simulated time ``t``."""
+        current = self.epochs[0]
+        for epoch in self.epochs[1:]:
+            if epoch.t_start <= t:
+                current = epoch
+            else:
+                break
+        return current
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def __repr__(self) -> str:
+        sizes = "->".join(str(e.n_servers) for e in self.epochs)
+        return f"ClusterTopology(epochs={self.n_epochs}, servers={sizes})"
+
+    # -- observability -------------------------------------------------
+
+    def emit_events(self, tracer=None) -> int:
+        """Emit one ``membership`` event per change and one ``epoch``
+        event per epoch; returns the number of events emitted.
+
+        ``tracer`` defaults to the process-wide tracer; a disabled tracer
+        makes this free.
+        """
+        from repro.obs import events as ev
+        from repro.obs.tracing import get_tracer
+
+        tracer = tracer if tracer is not None else get_tracer()
+        if not tracer.enabled:
+            return 0
+        n = 0
+        for event in self.events:
+            tracer.event(
+                ev.MEMBERSHIP,
+                ts=event.t,
+                kind=event.kind,
+                server_id=event.server_id,
+            )
+            n += 1
+        for epoch in self.epochs:
+            tracer.event(ev.EPOCH, ts=epoch.t_start, **epoch.describe())
+            n += 1
+        return n
+
+    def membership_section(self, **extra) -> dict:
+        """JSON-ready membership summary (a schema-v7 manifest section)."""
+        section = {
+            "schema_version": 1,
+            "n_epochs": self.n_epochs,
+            "id_space": self.id_space,
+            "epochs": [e.describe() for e in self.epochs],
+            "events": [
+                {"t": e.t, "kind": e.kind, "server_id": e.server_id}
+                for e in self.events
+            ],
+        }
+        section.update(extra)
+        return section
+
+
+def as_cluster_spec(cluster: "ClusterSpec | ClusterTopology") -> ClusterSpec:
+    """Coerce a spec-or-topology to the :class:`~repro.common.ClusterSpec`
+    its fixed-topology consumers should see (epoch 0's membership)."""
+    if isinstance(cluster, ClusterTopology):
+        return cluster.spec
+    return cluster

@@ -29,6 +29,7 @@ __all__ = [
     "ClusterSpec",
     "make_rng",
     "validate_probability_vector",
+    "validate_server_count",
 ]
 
 KB = 1024
@@ -50,6 +51,23 @@ def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def validate_server_count(n: int, *, what: str = "n_servers") -> int:
+    """Validate a server/worker count; returns it as a plain ``int``.
+
+    The one shared gate for every layer that sizes itself off the
+    cluster — :class:`ClusterSpec`, the policy constructors, the store
+    master, the partitioner — so the error message is consistent
+    everywhere: ``ValueError: <what> must be a positive integer``.
+    """
+    if isinstance(n, bool) or not isinstance(n, (int, np.integer)):
+        raise ValueError(
+            f"{what} must be a positive integer, got {type(n).__name__}"
+        )
+    if n <= 0:
+        raise ValueError(f"{what} must be a positive integer, got {n}")
+    return int(n)
 
 
 def validate_probability_vector(p: np.ndarray, *, name: str = "popularity") -> np.ndarray:
@@ -183,8 +201,9 @@ class ClusterSpec:
     client_bandwidth: float | None = None
 
     def __post_init__(self) -> None:
-        if self.n_servers <= 0:
-            raise ValueError("n_servers must be positive")
+        object.__setattr__(
+            self, "n_servers", validate_server_count(self.n_servers)
+        )
         bw = np.broadcast_to(
             np.asarray(self.bandwidth, dtype=np.float64), (self.n_servers,)
         ).copy()

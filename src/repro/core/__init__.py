@@ -3,7 +3,8 @@
 * :mod:`repro.core.partitioner` — Eq. (1): ``k_i = ceil(alpha * S_i * P_i)``
   with the distinct-server constraint;
 * :mod:`repro.core.placement` — random and greedy least-loaded partition
-  placement shared by the analytical model and the policies;
+  placement shared by the analytical model and the policies, plus the
+  hash-mod and consistent-hash-ring membership baselines;
 * :mod:`repro.core.latency_model` — the fork-join M/G/1 mean-latency upper
   bound of Eqs. (4)-(13);
 * :mod:`repro.core.convex` — exact 1-D solver for the Eq. (9) inner
@@ -18,9 +19,20 @@ from repro.core.convex import fork_join_upper_bound
 from repro.core.latency_model import ForkJoinModel, ModelEvaluation
 from repro.core.online import AdjustOp, OnlineAdjuster
 from repro.core.partitioner import partition_counts
-from repro.core.placement import place_partitions_greedy, place_partitions_random
+from repro.core.placement import (
+    HashRing,
+    hash_mod_assignment,
+    place_hash_mod,
+    place_on_ring,
+    place_partitions_greedy,
+    place_partitions_random,
+    relocated_fraction,
+    ring_assignment,
+)
 from repro.core.repartition import (
+    EpochRepartitionPlan,
     RepartitionPlan,
+    plan_epoch_repartition,
     plan_repartition,
     repartition_time_parallel,
     repartition_time_sequential,
@@ -36,7 +48,9 @@ from repro.core.theory import (
 
 __all__ = [
     "AdjustOp",
+    "EpochRepartitionPlan",
     "ForkJoinModel",
+    "HashRing",
     "ModelEvaluation",
     "OnlineAdjuster",
     "RepartitionPlan",
@@ -45,11 +59,17 @@ __all__ = [
     "subfile_partition",
     "ec_load_variance",
     "fork_join_upper_bound",
+    "hash_mod_assignment",
     "optimal_scale_factor",
     "partition_counts",
+    "place_hash_mod",
+    "place_on_ring",
     "place_partitions_greedy",
     "place_partitions_random",
+    "plan_epoch_repartition",
     "plan_repartition",
+    "relocated_fraction",
+    "ring_assignment",
     "repartition_time_parallel",
     "repartition_time_sequential",
     "sp_load_variance",

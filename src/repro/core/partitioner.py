@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common import FilePopulation
+from repro.common import FilePopulation, validate_server_count
 
 __all__ = ["partition_counts", "partition_sizes", "max_load"]
 
@@ -47,9 +47,7 @@ def partition_counts(
     ks = np.ceil(alpha * loads).astype(np.int64)
     ks = np.maximum(ks, 1)
     if n_servers is not None:
-        if n_servers < 1:
-            raise ValueError("n_servers must be positive")
-        ks = np.minimum(ks, n_servers)
+        ks = np.minimum(ks, validate_server_count(n_servers))
     return ks
 
 

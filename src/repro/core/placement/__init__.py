@@ -1,0 +1,43 @@
+"""Partition placement: SP-Cache's strategies plus membership baselines.
+
+:mod:`repro.core.placement.strategies`
+    Random distinct-server placement (Sec. 5.1's default) and the greedy
+    least-loaded placement Algorithm 2 uses when re-placing repartitioned
+    files — re-exported here so ``from repro.core.placement import
+    place_partitions_random`` keeps working exactly as before the
+    package split.
+:mod:`repro.core.placement.hash_ring`
+    The membership-driven baselines SP-Cache never evaluated: hash-mod
+    (``server = hash(key) % N`` — ~(N-1)/N of keys move when N changes)
+    and a consistent-hash ring with virtual nodes (~1/N move per
+    single-server change).  ``fig_churn`` races both against the
+    epoch-aware repartition planner.
+"""
+
+from repro.core.placement.hash_ring import (
+    HashRing,
+    hash_mod_assignment,
+    place_hash_mod,
+    place_on_ring,
+    relocated_fraction,
+    ring_assignment,
+)
+from repro.core.placement.strategies import (
+    extend_placement,
+    place_partitions_greedy,
+    place_partitions_random,
+    placement_server_loads,
+)
+
+__all__ = [
+    "HashRing",
+    "extend_placement",
+    "hash_mod_assignment",
+    "place_hash_mod",
+    "place_on_ring",
+    "place_partitions_greedy",
+    "place_partitions_random",
+    "placement_server_loads",
+    "relocated_fraction",
+    "ring_assignment",
+]

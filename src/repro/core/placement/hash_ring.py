@@ -1,0 +1,219 @@
+"""Consistent-hash-ring and hash-mod placement baselines.
+
+SP-Cache's Algorithm 2 re-plans placement when *popularity* shifts; it
+says nothing about *membership* shifts.  The classic pair of baselines
+for membership-driven placement (SNIPPETS.md snippet 1, the zeekdb
+sharding design):
+
+* **hash-mod** — ``server = hash(key) % N``.  Trivial and perfectly
+  uniform, but resizing from ``N`` to ``N + 1`` remaps ``N / (N + 1)``
+  of all keys (~75 % at N=3→4): the cluster effectively cold-starts on
+  every topology change.
+* **consistent-hash ring** — servers own arcs of a 2^64 hash circle via
+  ``vnodes`` virtual tokens each; a key lands on the first token
+  clockwise of its hash.  Adding or removing one server only moves the
+  keys on the arcs it gains or cedes — ~1/N of the keyspace — at the
+  cost of slightly lumpier balance (more vnodes, smoother arcs).
+
+Both use a keyed BLAKE2b hash, so assignments are deterministic across
+processes and runs (Python's builtin ``hash`` is salted per process).
+Server ids here are the *stable* ids of
+:class:`repro.cluster.topology.ClusterTopology` — assignments survive
+epoch changes, which is exactly what :func:`relocated_fraction` measures
+across them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "HashRing",
+    "hash_mod_assignment",
+    "place_hash_mod",
+    "place_on_ring",
+    "relocated_fraction",
+    "ring_assignment",
+]
+
+#: Virtual nodes per server: enough to keep arc-length variance low
+#: without making ring construction noticeable at cluster scale.
+DEFAULT_VNODES = 96
+
+
+def _hash64(data: bytes) -> int:
+    """Stable 64-bit hash (BLAKE2b) — process-salt-free, unlike ``hash``."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+def _key_point(key: int) -> int:
+    return _hash64(b"k:%d" % int(key))
+
+
+class HashRing:
+    """A consistent-hash ring over stable server ids with virtual nodes.
+
+    ``servers_for(key, k)`` walks clockwise collecting ``k`` *distinct*
+    servers — the ring-native analogue of the distinct-server constraint
+    SP-Cache's partition placement obeys.
+    """
+
+    def __init__(self, server_ids=(), *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._points: list[int] = []  # sorted vnode hash points
+        self._owner: dict[int, int] = {}  # hash point -> server id
+        self._servers: set[int] = set()
+        for sid in server_ids:
+            self.add_server(sid)
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __contains__(self, server_id: int) -> bool:
+        return int(server_id) in self._servers
+
+    @property
+    def server_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._servers))
+
+    def _tokens(self, server_id: int) -> list[int]:
+        return [
+            _hash64(b"s:%d:%d" % (int(server_id), v))
+            for v in range(self.vnodes)
+        ]
+
+    def add_server(self, server_id: int) -> None:
+        server_id = int(server_id)
+        if server_id in self._servers:
+            raise ValueError(f"server {server_id} already on the ring")
+        self._servers.add(server_id)
+        for point in self._tokens(server_id):
+            # Token collisions across servers are astronomically rare in
+            # 64 bits; keep the first owner deterministic if one happens.
+            if point in self._owner:
+                continue
+            bisect.insort(self._points, point)
+            self._owner[point] = server_id
+
+    def remove_server(self, server_id: int) -> None:
+        server_id = int(server_id)
+        if server_id not in self._servers:
+            raise ValueError(f"server {server_id} is not on the ring")
+        self._servers.remove(server_id)
+        for point in self._tokens(server_id):
+            if self._owner.get(point) == server_id:
+                del self._owner[point]
+                idx = bisect.bisect_left(self._points, point)
+                del self._points[idx]
+
+    def server_for(self, key: int) -> int:
+        """The server owning ``key``: first vnode clockwise of its hash."""
+        if not self._points:
+            raise ValueError("the ring has no servers")
+        idx = bisect.bisect_right(self._points, _key_point(key))
+        if idx == len(self._points):
+            idx = 0
+        return self._owner[self._points[idx]]
+
+    def servers_for(self, key: int, k: int) -> np.ndarray:
+        """``k`` distinct servers clockwise from ``key``'s hash point."""
+        if k > len(self._servers):
+            raise ValueError(
+                f"cannot pick {k} distinct servers from a ring of "
+                f"{len(self._servers)}"
+            )
+        start = bisect.bisect_right(self._points, _key_point(key))
+        chosen: list[int] = []
+        seen: set[int] = set()
+        n_points = len(self._points)
+        for step in range(n_points):
+            sid = self._owner[self._points[(start + step) % n_points]]
+            if sid not in seen:
+                seen.add(sid)
+                chosen.append(sid)
+                if len(chosen) == k:
+                    break
+        return np.sort(np.asarray(chosen, dtype=np.int64))
+
+    def assign(self, keys) -> np.ndarray:
+        """Vectorized :meth:`server_for` over an iterable of keys."""
+        return np.asarray(
+            [self.server_for(int(key)) for key in np.asarray(keys).ravel()],
+            dtype=np.int64,
+        )
+
+
+def ring_assignment(
+    keys, server_ids, *, vnodes: int = DEFAULT_VNODES
+) -> np.ndarray:
+    """One-shot ring assignment: key -> owning server (stable ids)."""
+    return HashRing(server_ids, vnodes=vnodes).assign(keys)
+
+
+def hash_mod_assignment(keys, server_ids) -> np.ndarray:
+    """Hash-mod assignment: ``servers[hash(key) % N]`` over stable ids.
+
+    The id *list* is what matters: resizing it remaps nearly every key,
+    which is the failure mode this baseline exists to demonstrate.
+    """
+    ids = np.sort(np.asarray(list(server_ids), dtype=np.int64))
+    if ids.size == 0:
+        raise ValueError("hash_mod_assignment needs at least one server")
+    return np.asarray(
+        [
+            ids[_key_point(int(key)) % ids.size]
+            for key in np.asarray(keys).ravel()
+        ],
+        dtype=np.int64,
+    )
+
+
+def place_on_ring(
+    ks: np.ndarray, server_ids, *, vnodes: int = DEFAULT_VNODES
+) -> list[np.ndarray]:
+    """Ragged placement (one array of distinct servers per file) where
+    file ``i``'s ``k_i`` partitions follow the ring walk from its hash."""
+    ring = HashRing(server_ids, vnodes=vnodes)
+    ks = np.asarray(ks, dtype=np.int64)
+    if np.any(ks < 1):
+        raise ValueError("every file needs at least one partition")
+    return [ring.servers_for(i, int(k)) for i, k in enumerate(ks)]
+
+
+def place_hash_mod(ks: np.ndarray, server_ids) -> list[np.ndarray]:
+    """Ragged hash-mod placement: ``k_i`` distinct servers walked from
+    ``hash(i) % N`` (wrap-around over the sorted id list)."""
+    ids = np.sort(np.asarray(list(server_ids), dtype=np.int64))
+    ks = np.asarray(ks, dtype=np.int64)
+    if np.any(ks < 1):
+        raise ValueError("every file needs at least one partition")
+    if np.any(ks > ids.size):
+        raise ValueError("k_i may not exceed the server count")
+    out: list[np.ndarray] = []
+    for i, k in enumerate(ks):
+        start = _key_point(i) % ids.size
+        picks = ids[(start + np.arange(int(k))) % ids.size]
+        out.append(np.sort(picks))
+    return out
+
+
+def relocated_fraction(old: np.ndarray, new: np.ndarray) -> float:
+    """Fraction of keys whose owner changed between two assignments.
+
+    The head-to-head resize metric: ~``1/N`` for a ring gaining one of
+    ``N+1`` servers, ~``N/(N+1)`` for hash-mod.
+    """
+    old = np.asarray(old)
+    new = np.asarray(new)
+    if old.shape != new.shape:
+        raise ValueError("assignments must cover the same keys")
+    if old.size == 0:
+        return 0.0
+    return float(np.mean(old != new))

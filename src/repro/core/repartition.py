@@ -32,7 +32,9 @@ from repro.obs.spans import span
 from repro.obs.tracing import get_tracer
 
 __all__ = [
+    "EpochRepartitionPlan",
     "RepartitionPlan",
+    "plan_epoch_repartition",
     "plan_repartition",
     "repartition_time_parallel",
     "repartition_time_sequential",
@@ -165,6 +167,264 @@ def _moved_bytes(
     pull = size * (old_k - (1 if repartitioner_local else 0)) / old_k
     push = size * max(new_k - 1, 0) / new_k
     return pull + push
+
+
+@dataclass(frozen=True)
+class EpochRepartitionPlan:
+    """Algorithm 2 extended to a membership change (one topology epoch).
+
+    All server ids here are *stable* ids
+    (:class:`repro.cluster.topology.ClusterTopology`); arrays indexed by
+    server use the topology's full id space so accounting lines up
+    across epochs.  ``changed`` marks every file that moves, in one of
+    two modes:
+
+    * **patched** — a hosting server left but the partition count is
+      unchanged: surviving partitions stay put and each replacement
+      server pulls only its lost ``S_i / k_i`` slice (from the draining
+      host during the decommission grace window);
+    * **repartitioned** — the recomputed ``k'_i`` differs, so the file
+      goes through the full Algorithm 2 collect-and-resplit.
+
+    The bytes/disruption fields price moves the way Fig. 16's parallel
+    scheme does: every transfer owner (repartitioner or partition
+    puller) ships its own assignment concurrently, so the disruption
+    window is the slowest server's transfer time.
+    """
+
+    epoch: int
+    new_ks: np.ndarray
+    changed: np.ndarray  # bool per file: the file must move
+    epoch_forced: np.ndarray  # bool per file: a hosting server left
+    patched: np.ndarray  # bool per file: forced but k unchanged
+    new_servers_of: list[np.ndarray]  # stable-id placement for every file
+    repartitioner_of: np.ndarray  # stable server id running the move; -1 kept/patched
+    alpha: float
+    moved_bytes: float
+    per_server_bytes: np.ndarray  # id-space array of transfer-owner bytes
+    disruption_window_s: float
+
+    @property
+    def n_changed(self) -> int:
+        return int(self.changed.sum())
+
+    @property
+    def changed_fraction(self) -> float:
+        return self.n_changed / self.changed.size if self.changed.size else 0.0
+
+    @property
+    def n_epoch_forced(self) -> int:
+        """Files that moved *because of membership*, not popularity."""
+        return int(self.epoch_forced.sum())
+
+    @property
+    def n_patched(self) -> int:
+        """Forced files healed in place (lost partitions re-pulled only)."""
+        return int(self.patched.sum())
+
+
+def plan_epoch_repartition(
+    population: FilePopulation,
+    epoch,
+    old_ks: np.ndarray,
+    old_servers_of: list[np.ndarray],
+    *,
+    alpha: float | None = None,
+    max_partitions: int | None = None,
+    id_space: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> EpochRepartitionPlan:
+    """Re-plan a layout onto a new membership epoch (Algorithm 2 + churn).
+
+    ``epoch`` is an :class:`repro.cluster.topology.EpochView`;
+    ``old_ks``/``old_servers_of`` describe the current layout in stable
+    ids (as produced by a previous call, or by a policy run against the
+    previous epoch's spec).  Three cases per file:
+
+    * every hosting server survives and the new partition count matches
+      — the file stays put and seeds the greedy load accounting;
+    * a hosting server left but ``k'_i`` is unchanged (``patched``) —
+      surviving partitions stay put; each lost slot is re-assigned to a
+      least-loaded active server that pulls only its ``S_i / k_i``
+      slice from the draining host (decommission grace window);
+    * the recomputed ``k'_i`` differs — full Algorithm 2: the file is
+      re-placed on the ``k'_i`` least-loaded *active* servers, hottest
+      files first.  The repartitioner runs on a surviving old server
+      when one exists (pulling ``k_old - 1`` partitions); when the
+      whole old footprint departed, a new server pulls all ``k_old``
+      partitions from draining peers.
+
+    ``max_partitions`` additionally clamps the recomputed counts below
+    the epoch's server count.  Pinning it to the *smallest* epoch the
+    schedule visits keeps ``k'_i`` stable while membership oscillates
+    above it, so only membership-*forced* files move — without it, every
+    file clamped at ``N`` re-scales on every size change.
+
+    Bytes moved and the per-server disruption window are accounted
+    against the epoch's per-server bandwidths; a ``repartition_plan``
+    trace event (with ``epoch`` fields) and a ``repartition_time`` event
+    (``mode="epoch"``) are emitted when tracing is on.
+    """
+    rng = make_rng(seed)
+    old_ks = np.asarray(old_ks, dtype=np.int64)
+    n = population.n_files
+    if old_ks.shape != (n,) or len(old_servers_of) != n:
+        raise ValueError("old layout must cover every file")
+    active = np.asarray(epoch.server_ids, dtype=np.int64)
+    width = int(id_space) if id_space is not None else int(active.max()) + 1
+    if width <= int(active.max()):
+        raise ValueError("id_space must cover every active server id")
+    active_mask = np.zeros(width, dtype=bool)
+    active_mask[active] = True
+
+    with span("epoch_repartition_plan", n_files=n, epoch=epoch.index):
+        plan = _plan_epoch_repartition(
+            population, epoch, old_ks, old_servers_of, alpha,
+            max_partitions, rng, active, active_mask, width,
+        )
+    reg = get_registry()
+    reg.counter("core.repartition.plans", mode="epoch").inc()
+    reg.counter("core.repartition.files_changed", mode="epoch").inc(
+        plan.n_changed
+    )
+    reg.counter("core.repartition.moved_bytes", mode="epoch").inc(
+        plan.moved_bytes
+    )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            ev.REPARTITION_PLAN,
+            epoch=epoch.index,
+            n_files=n,
+            n_changed=plan.n_changed,
+            n_epoch_forced=plan.n_epoch_forced,
+            n_patched=plan.n_patched,
+            changed_fraction=plan.changed_fraction,
+            alpha=plan.alpha,
+        )
+        tracer.event(
+            ev.REPARTITION_TIME,
+            mode="epoch",
+            epoch=epoch.index,
+            seconds=plan.disruption_window_s,
+            moved_bytes=plan.moved_bytes,
+        )
+    return plan
+
+
+def _plan_epoch_repartition(
+    population: FilePopulation,
+    epoch,
+    old_ks: np.ndarray,
+    old_servers_of: list[np.ndarray],
+    alpha: float | None,
+    max_partitions: int | None,
+    rng: np.random.Generator,
+    active: np.ndarray,
+    active_mask: np.ndarray,
+    width: int,
+) -> EpochRepartitionPlan:
+    n = population.n_files
+    if alpha is None:
+        alpha = optimal_scale_factor(population, epoch.spec, seed=rng).alpha
+    cap = active.size
+    if max_partitions is not None:
+        cap = min(cap, int(max_partitions))
+    new_ks = partition_counts(population, alpha, n_servers=cap)
+    loads = population.loads
+    epoch_forced = np.fromiter(
+        (
+            bool(old_servers_of[i].size)
+            and not np.all(active_mask[old_servers_of[i]])
+            for i in range(n)
+        ),
+        dtype=bool,
+        count=n,
+    )
+    changed = (new_ks != old_ks) | epoch_forced
+    patched = epoch_forced & (new_ks == old_ks)
+
+    # Partitions staying put seed the load field (stable-id space;
+    # inactive servers are priced out of the greedy argmin with +inf).
+    # Patched files keep their surviving partitions, each still worth
+    # ``L_i / k_i`` — only the lost slots go back to the allocator.
+    kept_servers = [
+        old_servers_of[i] if not changed[i] else np.empty(0, dtype=np.int64)
+        for i in range(n)
+    ]
+    server_loads = placement_server_loads(kept_servers, loads, width)
+    for i in np.nonzero(patched)[0]:
+        survivors = old_servers_of[i][active_mask[old_servers_of[i]]]
+        server_loads[survivors] += loads[i] / max(int(old_ks[i]), 1)
+    server_loads[~active_mask] = np.inf
+
+    new_servers_of: list[np.ndarray] = list(kept_servers)
+    repartitioner_of = np.full(n, -1, dtype=np.int64)
+    per_server_bytes = np.zeros(width)
+    for i in np.argsort(-loads * changed, kind="stable"):
+        if not changed[i]:
+            continue
+        k = int(new_ks[i])
+        per_part = loads[i] / k
+        if patched[i]:
+            # Heal in place: replacement servers pull only the lost
+            # slices from the draining host, survivors never move.
+            survivors = old_servers_of[i][active_mask[old_servers_of[i]]]
+            n_lost = k - survivors.size
+            taken = np.zeros(width, dtype=bool)
+            taken[survivors] = True
+            chosen = np.empty(n_lost, dtype=np.int64)
+            for slot in range(n_lost):
+                masked = np.where(taken, np.inf, server_loads)
+                s = int(np.argmin(masked))
+                chosen[slot] = s
+                taken[s] = True
+                server_loads[s] += per_part
+                per_server_bytes[s] += population.sizes[i] / k
+            new_servers_of[i] = np.sort(np.concatenate([survivors, chosen]))
+            continue
+        chosen = np.empty(k, dtype=np.int64)
+        taken = np.zeros(width, dtype=bool)
+        for slot in range(k):
+            masked = np.where(taken, np.inf, server_loads)
+            s = int(np.argmin(masked))
+            chosen[slot] = s
+            taken[s] = True
+            server_loads[s] += per_part
+        new_servers_of[i] = np.sort(chosen)
+        survivors = old_servers_of[i][active_mask[old_servers_of[i]]]
+        old_k = max(int(old_ks[i]), 1)
+        if survivors.size:
+            rep = int(survivors[rng.integers(survivors.size)])
+            bytes_i = _moved_bytes(
+                population.sizes[i], old_k, k, repartitioner_local=True
+            )
+        else:
+            # Whole footprint departed: the first new holder collects
+            # every old partition before re-splitting.
+            rep = int(chosen[0])
+            bytes_i = _moved_bytes(
+                population.sizes[i], old_k, k, repartitioner_local=False
+            )
+        repartitioner_of[i] = rep
+        per_server_bytes[rep] += bytes_i
+
+    bandwidths = np.full(width, np.inf)
+    bandwidths[active] = epoch.spec.bandwidths
+    times = per_server_bytes / bandwidths
+    return EpochRepartitionPlan(
+        epoch=int(epoch.index),
+        new_ks=new_ks,
+        changed=changed,
+        epoch_forced=epoch_forced,
+        patched=patched,
+        new_servers_of=new_servers_of,
+        repartitioner_of=repartitioner_of,
+        alpha=float(alpha),
+        moved_bytes=float(per_server_bytes.sum()),
+        per_server_bytes=per_server_bytes,
+        disruption_window_s=float(times.max()) if times.size else 0.0,
+    )
 
 
 def repartition_time_parallel(

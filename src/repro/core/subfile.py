@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common import validate_probability_vector
+from repro.common import validate_probability_vector, validate_server_count
 
 __all__ = ["SegmentedFile", "subfile_partition"]
 
@@ -75,8 +75,7 @@ def subfile_partition(
         raise ValueError("file_popularity must be in (0, 1]")
     if alpha <= 0:
         raise ValueError("alpha must be positive")
-    if n_servers < 1:
-        raise ValueError("n_servers must be positive")
+    n_servers = validate_server_count(n_servers)
     loads = file_popularity * file.segment_loads
     ks = np.ceil(alpha * loads).astype(np.int64)
     return np.clip(ks, 1, n_servers)

@@ -52,6 +52,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.analysis.tables import format_table
 from repro.obs.causal import CausalConfig, collect_causal, use_causal
+from repro.obs.membership import collect_membership
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.popularity import collect_popularity
 from repro.obs.runinfo import build_manifest, write_manifest
@@ -115,14 +116,17 @@ def run_experiment(
     popularity: list[dict] = []
     slo_sections: list[dict] = []
     causal_sections: list[dict] = []
+    membership_sections: list[dict] = []
     previous = set_registry(registry)
     try:
         with collect_spans(collector):
-            # Popularity/SLO sections are collected unconditionally:
-            # runs only publish them when a config opts in (the ambient
-            # SLO config below opts every simulated run in), so the
-            # sinks are free for every other experiment.
-            with collect_popularity(popularity), collect_slo(slo_sections):
+            # Popularity/SLO/membership sections are collected
+            # unconditionally: runs only publish them when a config opts
+            # in (the ambient SLO config below opts every simulated run
+            # in; membership sections come only from churn experiments),
+            # so the sinks are free for every other experiment.
+            with collect_popularity(popularity), collect_slo(slo_sections), \
+                    collect_membership(membership_sections):
                 with use_slo(slo_config):
                     with span("experiment", experiment=spec.name):
                         if spec.timeline:
@@ -173,6 +177,7 @@ def run_experiment(
         popularity=popularity,
         slo=slo_sections,
         causal=causal_sections,
+        membership=membership_sections,
     )
     return rows, manifest
 

@@ -53,6 +53,11 @@ Cooperating pieces (each documented in its module, schema tables in
     and critical-path analysis with a conservation invariant
     (``python -m repro critical``); sections land in schema-v6
     manifests.
+:mod:`repro.obs.membership`
+    Thread-local sinks for cluster-membership sections: churn
+    experiments publish each topology's epoch/event history and the
+    sections land in schema-v7 manifests (and the dash membership
+    panel).
 
 :mod:`repro.obs.events` pins the event-name vocabulary.
 """
@@ -91,6 +96,10 @@ from repro.obs.export import (
     render_snapshot_openmetrics,
     snapshots_to_openmetrics,
     timeline_rates,
+)
+from repro.obs.membership import (
+    collect_membership,
+    publish_membership,
 )
 from repro.obs.metrics import (
     Counter,
@@ -236,6 +245,7 @@ __all__ = [
     "chrome_counter_events",
     "chrome_trace",
     "collect_causal",
+    "collect_membership",
     "collect_popularity",
     "collect_slo",
     "collect_spans",
@@ -275,6 +285,7 @@ __all__ = [
     "profile",
     "profiled",
     "publish_causal",
+    "publish_membership",
     "publish_popularity",
     "publish_slo",
     "publish_timeline",

@@ -106,6 +106,16 @@ class DashBoard:
         self._schemes: dict[str, _SchemeState] = {}
         self.n_events = 0
         self.n_unknown = 0
+        # Cluster-wide membership fold: ``membership``/``epoch`` events
+        # carry no scheme label (one topology serves every scheme), so
+        # this state lives on the board, not per scheme.  ``membership``
+        # maps epoch index -> {n_servers, added, removed, t, moved}
+        # where ``moved`` maps a label (scheme, or "plan" when folded
+        # from ``repartition_time`` trace events) to bytes moved.
+        self.membership: dict[int, dict[str, Any]] = {}
+        self.last_membership_event: dict[str, Any] | None = None
+        self.current_epoch: int | None = None
+        self.n_servers: int | None = None
 
     @property
     def schemes(self) -> list[str]:
@@ -193,6 +203,25 @@ class DashBoard:
                 )
             elif name == "join":
                 st.crit_edges["join"] += float(record.get("join_s", 0.0))
+        elif kind == ev.MEMBERSHIP:
+            self.last_membership_event = dict(record)
+        elif kind == ev.EPOCH:
+            idx = int(record.get("epoch", 0))
+            row = self.membership.setdefault(idx, {"moved": {}})
+            row["n_servers"] = int(record.get("n_servers", 0))
+            row["added"] = len(record.get("added") or ())
+            row["removed"] = len(record.get("removed") or ())
+            row["t"] = float(record.get("ts", 0.0))
+            if self.current_epoch is None or idx >= self.current_epoch:
+                self.current_epoch = idx
+                self.n_servers = row["n_servers"]
+        elif kind == ev.REPARTITION_TIME and record.get("mode") == "epoch":
+            row = self.membership.setdefault(
+                int(record.get("epoch", 0)), {"moved": {}}
+            )
+            row["moved"]["plan"] = row["moved"].get("plan", 0.0) + float(
+                record.get("moved_bytes", 0.0)
+            )
         elif kind == ev.SIMULATION_END:
             st = self.state(str(record.get("scheme", "?")))
             n = record.get("n_servers")
@@ -272,6 +301,24 @@ def dash_from_manifest(manifest: Mapping[str, Any]) -> DashBoard:
                         str(alert.get("severity", "?")),
                     )
                 ] = dict(alert)
+    for section in manifest.get("membership") or []:
+        scheme = str(section.get("scheme", "?"))
+        for entry in section.get("epochs") or []:
+            idx = int(entry.get("epoch", 0))
+            row = board.membership.setdefault(idx, {"moved": {}})
+            row.setdefault("n_servers", int(entry.get("n_servers", 0)))
+            row.setdefault("added", len(entry.get("added") or ()))
+            row.setdefault("removed", len(entry.get("removed") or ()))
+            row.setdefault("t", float(entry.get("t_start", 0.0)))
+            moved = entry.get("moved_bytes")
+            if moved is not None:
+                row["moved"][scheme] = float(moved)
+            if board.current_epoch is None or idx >= board.current_epoch:
+                board.current_epoch = idx
+                board.n_servers = row["n_servers"]
+        events = section.get("events") or []
+        if events and board.last_membership_event is None:
+            board.last_membership_event = dict(events[-1])
     return board
 
 
@@ -301,7 +348,7 @@ def render_frame(
 ) -> str:
     """One plain-text frame of the cluster health board."""
     lines: list[str] = []
-    if not board.schemes:
+    if not board.schemes and not board.membership:
         return "(no simulator events yet)\n"
     for scheme in board.schemes:
         st = board.state(scheme)
@@ -383,6 +430,45 @@ def render_frame(
             )
         else:
             lines.append("alerts: none")
+        lines.append("")
+    if board.membership:
+        head = "== cluster membership =="
+        if board.n_servers is not None:
+            head += f"  servers={board.n_servers}"
+        if board.current_epoch is not None:
+            head += f"  epoch={board.current_epoch}"
+        lines.append(head)
+        last = board.last_membership_event
+        if last:
+            t_last = float(last.get("ts", last.get("t", 0.0)) or 0.0)
+            lines.append(
+                f"last event: {last.get('kind', '?')} "
+                f"s{last.get('server_id', '?')} at t={t_last:.1f}s"
+            )
+        lines.append("epoch | servers | change | bytes moved")
+        for idx in sorted(board.membership):
+            row = board.membership[idx]
+            delta = "".join(
+                part
+                for part, n in (
+                    (f"+{row.get('added', 0)}", row.get("added", 0)),
+                    (f"-{row.get('removed', 0)}", row.get("removed", 0)),
+                )
+                if n
+            ) or "-"
+            moved = row.get("moved") or {}
+            moved_s = (
+                "  ".join(
+                    f"{label}={_fmt_bytes(b)}"
+                    for label, b in sorted(moved.items())
+                )
+                if moved
+                else "-"
+            )
+            lines.append(
+                f"  {idx:<3d} | {row.get('n_servers', '?'):>7} "
+                f"| {delta:<6} | {moved_s}"
+            )
         lines.append("")
     if board.n_unknown:
         lines.append(f"({board.n_unknown} unknown event records skipped)")

@@ -21,6 +21,7 @@ __all__ = [
     "SIMULATOR_EVENTS",
     "STORE_EVENTS",
     "CORE_EVENTS",
+    "TOPOLOGY_EVENTS",
     "POPULARITY_EVENTS",
     "SLO_EVENTS",
     "CAUSAL_EVENTS",
@@ -51,6 +52,10 @@ ADJUST_PLAN = "adjust_plan"  # one OnlineAdjuster round planned
 ADJUST_APPLY = "adjust_apply"  # ops committed: count, moved bytes
 REPARTITION_PLAN = "repartition_plan"  # Algorithm 2 planning outcome
 REPARTITION_TIME = "repartition_time"  # timing-model evaluation
+
+# -- cluster topology (repro.cluster.topology) --------------------------------
+MEMBERSHIP = "membership"  # one server add/remove: ts, kind, server_id
+EPOCH = "epoch"  # one epoch opening: epoch, n_servers, added, removed
 
 # -- popularity / skew (repro.obs.popularity) ---------------------------------
 POPULARITY_WINDOW = "popularity_window"  # one window: count, drift, imbalance
@@ -89,6 +94,7 @@ CORE_EVENTS = (
     REPARTITION_PLAN,
     REPARTITION_TIME,
 )
+TOPOLOGY_EVENTS = (MEMBERSHIP, EPOCH)
 POPULARITY_EVENTS = (POPULARITY_WINDOW, DRIFT, HOTSPOT)
 SLO_EVENTS = (SLO_BREACH, SLO_RECOVERED)
 CAUSAL_EVENTS = (CSPAN,)
@@ -97,6 +103,7 @@ EVENT_LAYER: dict[str, str] = {
     **{name: "simulator" for name in SIMULATOR_EVENTS},
     **{name: "store" for name in STORE_EVENTS},
     **{name: "core" for name in CORE_EVENTS},
+    **{name: "topology" for name in TOPOLOGY_EVENTS},
     **{name: "popularity" for name in POPULARITY_EVENTS},
     **{name: "slo" for name in SLO_EVENTS},
     **{name: "causal" for name in CAUSAL_EVENTS},

@@ -9,10 +9,10 @@ mechanically.  ``repro report`` (:mod:`repro.obs.report`) aggregates and
 diffs these files; CI uploads them as artifacts so the perf trajectory
 accumulates.
 
-Schema (version 6) — one flat JSON object:
+Schema (version 7) — one flat JSON object:
 
 ===================  ==========================================================
-``schema_version``   ``6``
+``schema_version``   ``7``
 ``experiment``       experiment name (``fig10``, ``theorem1``, ...)
 ``created_unix``     ``time.time()`` at manifest build
 ``git_sha``          ``git rev-parse HEAD`` or ``None`` outside a checkout
@@ -57,12 +57,19 @@ Schema (version 6) — one flat JSON object:
                      slowest-K requests with their critical chains.
                      Empty list when the run collected none.  New in
                      version 6.
+``membership``       cluster-membership sections published during the run
+                     (:mod:`repro.obs.membership`): the epoch/event
+                     history of each :class:`~repro.cluster.topology.ClusterTopology`
+                     a churn experiment ran against, with per-epoch
+                     server sets and (when the experiment recorded them)
+                     per-epoch bytes moved.  Empty list for
+                     fixed-topology runs.  New in version 7.
 ===================  ==========================================================
 
 Older manifests still load: readers treat a missing ``timelines`` (v1),
-``popularity`` (v1/v2), ``slo`` (v1-v4), or ``causal`` (v1-v5) as an
-empty list, and missing ``peak_rss_bytes``/``total_requests`` (v1-v3) as
-unknown.
+``popularity`` (v1/v2), ``slo`` (v1-v4), ``causal`` (v1-v5), or
+``membership`` (v1-v6) as an empty list, and missing
+``peak_rss_bytes``/``total_requests`` (v1-v3) as unknown.
 
 :func:`validate_manifest` enforces this shape; :func:`load_manifest`
 validates on read so a corrupt or foreign JSON file fails loudly rather
@@ -93,10 +100,10 @@ __all__ = [
     "write_manifest",
 ]
 
-MANIFEST_SCHEMA_VERSION = 6
+MANIFEST_SCHEMA_VERSION = 7
 
 #: schema versions this build can read.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
 #: required key -> accepted types (``None`` entries listed explicitly).
 _MANIFEST_FIELDS: dict[str, tuple[type, ...]] = {
@@ -122,6 +129,7 @@ _VERSIONED_FIELDS: dict[str, tuple[int, tuple[type, ...]]] = {
     "total_requests": (4, (int,)),
     "slo": (5, (list,)),
     "causal": (6, (list,)),
+    "membership": (7, (list,)),
 }
 
 
@@ -204,6 +212,7 @@ def build_manifest(
     popularity: Iterable[dict[str, Any]] = (),
     slo: Iterable[dict[str, Any]] = (),
     causal: Iterable[dict[str, Any]] = (),
+    membership: Iterable[dict[str, Any]] = (),
     peak_rss: int | None = None,
     total_requests: int | None = None,
 ) -> dict[str, Any]:
@@ -213,8 +222,9 @@ def build_manifest(
     plain dicts; ``config`` is hashed with :func:`config_hash`;
     ``timelines`` takes sections from :mod:`repro.obs.timeline`,
     ``popularity`` sections from :mod:`repro.obs.popularity`,
-    ``slo`` sections from :mod:`repro.obs.slo`, and ``causal``
-    critical-path sections from :mod:`repro.obs.causal`.
+    ``slo`` sections from :mod:`repro.obs.slo`, ``causal``
+    critical-path sections from :mod:`repro.obs.causal`, and
+    ``membership`` topology sections from :mod:`repro.obs.membership`.
     ``peak_rss`` defaults to :func:`peak_rss_bytes` measured at build
     time; ``total_requests`` defaults to summing the ``sim.requests``
     counters in ``metrics``.
@@ -242,6 +252,7 @@ def build_manifest(
         "popularity": [dict(p) for p in popularity],
         "slo": [dict(s) for s in slo],
         "causal": [dict(c) for c in causal],
+        "membership": [dict(m) for m in membership],
         "peak_rss_bytes": peak_rss,
         "total_requests": int(total_requests),
     }
@@ -322,6 +333,12 @@ def validate_manifest(manifest: Any) -> dict[str, Any]:
             raise ValueError(
                 f"manifest causal section {i} must be an object "
                 "with a scheme"
+            )
+    for i, section in enumerate(manifest.get("membership", ())):
+        if not isinstance(section, dict) or "epochs" not in section:
+            raise ValueError(
+                f"manifest membership section {i} must be an object "
+                "with an epochs list"
             )
     return manifest
 

@@ -15,6 +15,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.cluster.client import ReadOp, WriteOp
+from repro.cluster.topology import ClusterTopology, as_cluster_spec
 from repro.common import ClusterSpec, FilePopulation, make_rng
 from repro.core.placement import place_partitions_random, placement_server_loads
 
@@ -30,11 +31,19 @@ class CachePolicy(ABC):
     def __init__(
         self,
         population: FilePopulation,
-        cluster: ClusterSpec,
+        cluster: ClusterSpec | ClusterTopology,
         seed: int | np.random.Generator | None = 0,
     ) -> None:
         self.population = population
-        self.cluster = cluster
+        #: Epoch-versioned membership the policy was built against, or
+        #: ``None`` when built from a plain spec.  Layouts always target
+        #: ``self.cluster`` — the epoch-0 spec — so fixed topologies
+        #: reproduce spec-built layouts byte-for-byte; churn experiments
+        #: rebuild or re-plan per epoch (``plan_epoch_repartition``).
+        self.topology: ClusterTopology | None = (
+            cluster if isinstance(cluster, ClusterTopology) else None
+        )
+        self.cluster = as_cluster_spec(cluster)
         self._rng = make_rng(seed)
         #: servers_of[i]: distinct servers caching file i's pieces.
         self.servers_of: list[np.ndarray] = []

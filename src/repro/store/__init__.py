@@ -7,6 +7,7 @@ and lost partitions are recovered from the under-store via lineage
 (Sec. 8's fault-tolerance story).
 """
 
+from repro.store.lineage import LineageGraph, LineageRecord, ServerRemovedError
 from repro.store.lru import LRUCache
 from repro.store.master import FileMeta, Master, PartitionLocation
 from repro.store.store_client import StoreClient
@@ -17,8 +18,11 @@ __all__ = [
     "BlockNotFound",
     "FileMeta",
     "LRUCache",
+    "LineageGraph",
+    "LineageRecord",
     "Master",
     "PartitionLocation",
+    "ServerRemovedError",
     "StoreClient",
     "UnderStore",
     "Worker",

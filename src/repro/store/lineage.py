@@ -15,7 +15,31 @@ from typing import Callable
 from repro.obs.causal import causal_span
 from repro.obs.metrics import get_registry
 
-__all__ = ["LineageRecord", "LineageGraph"]
+__all__ = ["LineageRecord", "LineageGraph", "ServerRemovedError"]
+
+
+class ServerRemovedError(KeyError):
+    """A file is unrecoverable because its hosting server left the cluster.
+
+    Raised instead of a bare ``KeyError`` when recovery can tell that the
+    blocks were not merely evicted but lived on a worker a membership
+    epoch removed — the actionable difference between "re-read later" and
+    "this data needs a checkpoint or lineage to ever come back".
+    Subclasses :class:`KeyError` so pre-membership recovery paths that
+    catch ``KeyError`` keep working.
+    """
+
+    def __init__(self, file_id: int, server_id: int) -> None:
+        super().__init__(file_id)
+        self.file_id = file_id
+        self.server_id = server_id
+
+    def __str__(self) -> str:
+        return (
+            f"file {self.file_id} is unrecoverable: server {self.server_id} "
+            "was removed from the cluster and the file is neither "
+            "checkpointed nor covered by lineage"
+        )
 
 
 @dataclass(frozen=True)
@@ -68,7 +92,10 @@ class LineageGraph:
         return False
 
     def recover(
-        self, file_id: int, read_source: Callable[[int], bytes | None]
+        self,
+        file_id: int,
+        read_source: Callable[[int], bytes | None],
+        lost_server_of: Callable[[int], int | None] | None = None,
     ) -> bytes:
         """Recompute ``file_id`` bottom-up.
 
@@ -76,7 +103,10 @@ class LineageGraph:
         available from cache or the under-store, else ``None``; unavailable
         parents are recovered recursively through their own lineage.
         Raises ``KeyError`` when a needed file has neither source bytes nor
-        lineage.
+        lineage — or, when ``lost_server_of(fid)`` names a departed server
+        holding the file's blocks, the sharper
+        :class:`ServerRemovedError` so callers can tell a membership loss
+        from an eviction.
 
         Each recursion level opens one ``lineage.recover`` causal span, so
         a traced recovery shows the full bottom-up recomputation chain
@@ -88,12 +118,17 @@ class LineageGraph:
                 return available
             rec = self._records.get(file_id)
             if rec is None:
+                if lost_server_of is not None:
+                    server_id = lost_server_of(file_id)
+                    if server_id is not None:
+                        raise ServerRemovedError(file_id, server_id)
                 raise KeyError(
                     f"file {file_id} is lost: not persisted and has no "
                     "lineage"
                 )
             get_registry().counter("lineage.recomputes").inc()
             parent_bytes = [
-                self.recover(p, read_source) for p in rec.parents
+                self.recover(p, read_source, lost_server_of)
+                for p in rec.parents
             ]
             return rec.recompute(parent_bytes)

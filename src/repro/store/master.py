@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.common import make_rng
+from repro.common import make_rng, validate_server_count
 from repro.obs import events as ev
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -73,14 +73,16 @@ class Master:
         seed: int | None = 0,
         popularity: "PopularityMonitor | None" = None,
     ) -> None:
-        if n_workers <= 0:
-            raise ValueError("n_workers must be positive")
-        self.n_workers = n_workers
+        self.n_workers = validate_server_count(n_workers, what="n_workers")
         self._files: dict[int, FileMeta] = {}
         self._rng = make_rng(seed)
         # Bytes of partitions placed per worker — the "load" Algorithm 2's
         # greedy placement balances.
-        self.placed_bytes = np.zeros(n_workers)
+        self.placed_bytes = np.zeros(self.n_workers)
+        # Worker ids drained out of the cluster (membership epochs).
+        # Slots are never recycled: ``n_workers`` is the id *space*, and
+        # placement draws only from ids not in this set.
+        self._inactive: set[int] = set()
         # Optional streaming popularity monitor fed by record_access —
         # the sketched twin of the exact access-count window.
         self.popularity = popularity
@@ -103,28 +105,81 @@ class Master:
     def files(self) -> list[FileMeta]:
         return list(self._files.values())
 
+    # -- membership --------------------------------------------------------
+
+    @property
+    def n_active(self) -> int:
+        """Workers currently serving (id space minus drained ids)."""
+        return self.n_workers - len(self._inactive)
+
+    @property
+    def active_workers(self) -> list[int]:
+        """Sorted ids of the workers placement may target."""
+        return [w for w in range(self.n_workers) if w not in self._inactive]
+
+    def is_active(self, worker_id: int) -> bool:
+        return 0 <= worker_id < self.n_workers and worker_id not in self._inactive
+
+    def grow(self, n: int = 1) -> list[int]:
+        """Extend the id space by ``n`` fresh workers; returns their ids.
+
+        Ids are never recycled, so the new ids continue past every id
+        ever issued — matching :class:`~repro.cluster.topology.ClusterTopology`'s
+        stable-id convention.
+        """
+        if n < 1:
+            raise ValueError("grow needs n >= 1")
+        new_ids = list(range(self.n_workers, self.n_workers + n))
+        self.n_workers += n
+        self.placed_bytes = np.concatenate([self.placed_bytes, np.zeros(n)])
+        return new_ids
+
+    def deactivate_worker(self, worker_id: int) -> None:
+        """Drain a worker out of placement (membership remove)."""
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"unknown worker id {worker_id}")
+        if self.n_active <= 1 and worker_id not in self._inactive:
+            raise ValueError("cannot deactivate the last active worker")
+        self._inactive.add(worker_id)
+
+    def activate_worker(self, worker_id: int) -> None:
+        """Return a drained worker to placement (membership re-add)."""
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"unknown worker id {worker_id}")
+        self._inactive.discard(worker_id)
+
     # -- placement ---------------------------------------------------------
 
     def choose_random_workers(self, k: int) -> list[int]:
-        """``k`` distinct random workers (initial placement, Sec. 5.1)."""
-        if k > self.n_workers:
+        """``k`` distinct random active workers (initial placement, Sec. 5.1)."""
+        if k > self.n_active:
             raise ValueError(
-                f"cannot place {k} partitions on {self.n_workers} workers "
+                f"cannot place {k} partitions on {self.n_active} workers "
                 "without co-locating"
             )
         with causal_span("master.place", strategy="random", k=k):
-            return list(
-                self._rng.choice(self.n_workers, size=k, replace=False)
-            )
+            if not self._inactive:
+                # Fast path, and the exact draw order of the fixed-topology
+                # code — seeded runs stay byte-identical.
+                return list(
+                    self._rng.choice(self.n_workers, size=k, replace=False)
+                )
+            active = np.asarray(self.active_workers, dtype=np.int64)
+            picks = self._rng.choice(active.size, size=k, replace=False)
+            return [int(active[p]) for p in picks]
 
     def choose_least_loaded_workers(self, k: int) -> list[int]:
-        """``k`` distinct least-loaded workers (Algorithm 2's greedy rule)."""
-        if k > self.n_workers:
+        """``k`` distinct least-loaded active workers (Algorithm 2)."""
+        if k > self.n_active:
             raise ValueError(
-                f"cannot place {k} partitions on {self.n_workers} workers"
+                f"cannot place {k} partitions on {self.n_active} workers"
             )
         with causal_span("master.place", strategy="least_loaded", k=k):
-            return list(np.argsort(self.placed_bytes, kind="stable")[:k])
+            if not self._inactive:
+                return list(np.argsort(self.placed_bytes, kind="stable")[:k])
+            loads = self.placed_bytes.copy()
+            loads[sorted(self._inactive)] = np.inf
+            return list(np.argsort(loads, kind="stable")[:k])
 
     # -- registration ------------------------------------------------------
 
@@ -182,12 +237,18 @@ class Master:
         return meta
 
     def relocate_file(
-        self, file_id: int, locations: list[PartitionLocation]
+        self,
+        file_id: int,
+        locations: list[PartitionLocation],
+        replica_groups: list[list[PartitionLocation]] | None = None,
     ) -> FileMeta:
         """Replace a file's partition layout (repartition path).
 
         The access-count window survives the move — repartitioning a file
-        must not erase the popularity evidence that triggered it.
+        must not erase the popularity evidence that triggered it.  For a
+        replicated file whose copies moved (e.g. re-placed off a removed
+        worker), pass the rebuilt ``replica_groups``; ``None`` keeps the
+        old groups.
         """
         meta = self.unregister_file(file_id)
         new_meta = self.register_file(
@@ -196,7 +257,11 @@ class Master:
             locations,
             ec_k=meta.ec_k,
             ec_n=meta.ec_n,
-            replica_groups=meta.replica_groups,
+            replica_groups=(
+                replica_groups
+                if replica_groups is not None
+                else meta.replica_groups
+            ),
         )
         new_meta.access_count = meta.access_count
         get_registry().counter("master.relocations").inc()

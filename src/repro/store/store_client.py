@@ -31,7 +31,7 @@ from repro.obs.causal import causal_span
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
 from repro.obs.tracing import get_tracer
-from repro.store.lineage import LineageGraph
+from repro.store.lineage import LineageGraph, ServerRemovedError
 from repro.store.master import FileMeta, Master, PartitionLocation
 from repro.store.under_store import UnderStore
 from repro.store.worker import BlockNotFound, Worker
@@ -59,6 +59,35 @@ class StoreClient:
         self._rng = make_rng(seed)
         self._ec_meta: dict[int, tuple[RSFileCodec, int]] = {}  # codec, orig_len
         self.recoveries = 0
+        #: Worker ids removed by membership epochs.  Their Worker objects
+        #: stay in ``self.workers`` (ids are stable, never recycled) but
+        #: reads treat their blocks as gone and recovery re-places them.
+        self.removed: set[int] = set()
+
+    # -- membership ----------------------------------------------------------
+
+    def apply_epoch(self, epoch) -> None:
+        """Reconcile the data plane with a membership epoch.
+
+        ``epoch`` is an :class:`~repro.cluster.topology.EpochView`: fresh
+        stable ids grow the worker list (empty caches, same capacity as
+        worker 0), departed ids are drained at the master and marked
+        removed here so reads on their blocks fall through to recovery —
+        which re-places recovered files onto the *current* epoch.
+        """
+        max_id = max(epoch.server_ids)
+        if max_id >= self.master.n_workers:
+            self.master.grow(max_id + 1 - self.master.n_workers)
+        capacity = self.workers[0].capacity if self.workers else float("inf")
+        while len(self.workers) < self.master.n_workers:
+            self.workers.append(Worker(len(self.workers), capacity=capacity))
+        active = set(epoch.server_ids)
+        self.removed = set(range(self.master.n_workers)) - active
+        for wid in range(self.master.n_workers):
+            if wid in active:
+                self.master.activate_worker(wid)
+            else:
+                self.master.deactivate_worker(wid)
 
     # -- writes ------------------------------------------------------------
 
@@ -134,13 +163,17 @@ class StoreClient:
                 return self._read_replicated(meta)
             return self._read_partitioned(meta)
 
+    def _get_from(self, meta: FileMeta, loc: PartitionLocation) -> bytes:
+        """Fetch one block, treating removed workers' blocks as lost."""
+        if loc.worker_id in self.removed:
+            raise BlockNotFound(loc.worker_id, meta.file_id, loc.index)
+        return self.workers[loc.worker_id].get_block(meta.file_id, loc.index)
+
     def _read_partitioned(self, meta: FileMeta) -> bytes:
         parts: list[bytes] = []
         for loc in sorted(meta.locations, key=lambda l: l.index):
             try:
-                parts.append(
-                    self.workers[loc.worker_id].get_block(meta.file_id, loc.index)
-                )
+                parts.append(self._get_from(meta, loc))
             except KeyError:
                 return self._recover(meta)
         return unsplit_bytes(parts)
@@ -157,9 +190,7 @@ class StoreClient:
         for pos in order:
             loc = meta.locations[pos]
             try:
-                shard = self.workers[loc.worker_id].get_block(
-                    meta.file_id, loc.index
-                )
+                shard = self._get_from(meta, loc)
             except KeyError:
                 continue
             ids.append(loc.index)
@@ -178,9 +209,7 @@ class StoreClient:
             group = meta.replica_groups[(start + offset) % n_groups]
             loc = group[0]
             try:
-                return self.workers[loc.worker_id].get_block(
-                    meta.file_id, loc.index
-                )
+                return self._get_from(meta, loc)
             except KeyError:
                 continue
         return self._recover(meta)
@@ -207,10 +236,19 @@ class StoreClient:
                     return None
             return None
 
+        def lost_server_of(fid: int) -> int | None:
+            # Lets the lineage layer raise ServerRemovedError (with the
+            # departed worker's id) rather than a bare KeyError.
+            if fid in self.master:
+                for loc in self.master.meta(fid).locations:
+                    if loc.worker_id in self.removed:
+                        return loc.worker_id
+            return None
+
         t0 = time.perf_counter()
         with causal_span("store.recover", file_id=meta.file_id):
-            data = self.lineage.recover(meta.file_id, read_source)
-            self._recache(meta, data)
+            data = self.lineage.recover(meta.file_id, read_source, lost_server_of)
+            meta = self._recache(meta, data)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -221,7 +259,13 @@ class StoreClient:
             )
         return data
 
-    def _recache(self, meta: FileMeta, data: bytes) -> None:
+    def _recache(self, meta: FileMeta, data: bytes) -> FileMeta:
+        # A recovered file whose layout references departed workers is
+        # re-placed onto the current epoch's active workers first.
+        if self.removed and any(
+            loc.worker_id in self.removed for loc in meta.locations
+        ):
+            meta = self._replace_lost_locations(meta)
         if meta.ec_k is not None:
             codec, _ = self._ec_meta[meta.file_id]
             shards, _ = codec.encode_file(data)
@@ -241,6 +285,49 @@ class StoreClient:
                 self.workers[loc.worker_id].put_block(
                     meta.file_id, loc.index, parts[loc.index]
                 )
+        return meta
+
+    def _replace_lost_locations(self, meta: FileMeta) -> FileMeta:
+        """Move locations on departed workers to least-loaded active ones.
+
+        Surviving locations stay put; each lost one is re-pointed at a
+        distinct active worker not already holding a piece of the file.
+        """
+        survivors = {
+            loc.worker_id
+            for loc in meta.locations
+            if loc.worker_id not in self.removed
+        }
+        candidates = [
+            w for w in self.master.active_workers if w not in survivors
+        ]
+        candidates.sort(key=lambda w: (self.master.placed_bytes[w], w))
+        fresh = iter(candidates)
+        moved: dict[PartitionLocation, PartitionLocation] = {}
+        new_locations: list[PartitionLocation] = []
+        for loc in meta.locations:
+            if loc.worker_id in self.removed:
+                try:
+                    wid = next(fresh)
+                except StopIteration:
+                    raise ValueError(
+                        f"not enough active workers to re-place file "
+                        f"{meta.file_id}"
+                    ) from None
+                new_loc = PartitionLocation(worker_id=wid, index=loc.index)
+                moved[loc] = new_loc
+                new_locations.append(new_loc)
+            else:
+                new_locations.append(loc)
+        replica_groups = None
+        if meta.replica_groups is not None:
+            replica_groups = [
+                [moved.get(loc, loc) for loc in group]
+                for group in meta.replica_groups
+            ]
+        return self.master.relocate_file(
+            meta.file_id, new_locations, replica_groups=replica_groups
+        )
 
     # -- maintenance ---------------------------------------------------------
 

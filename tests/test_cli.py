@@ -636,7 +636,7 @@ def test_experiments_forwards_slo(tmp_path):
          "--out", str(tmp_path), "--slo", "p99<0.001"]
     ) == 0
     manifest = json.loads((tmp_path / "fig13.json").read_text())
-    assert manifest["schema_version"] == 6
+    assert manifest["schema_version"] == 7
     assert manifest["slo"]
     assert sum(s["breaches"] for s in manifest["slo"]) >= 1
     assert manifest["config"]["slo"] == "p99<0.001"

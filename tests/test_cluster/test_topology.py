@@ -1,0 +1,203 @@
+"""Epoch-versioned membership: semantics, events, and fixed-topology parity.
+
+The parity tests are the refactor's safety net: a
+:class:`~repro.cluster.topology.ClusterTopology` standing in for a
+``ClusterSpec`` anywhere in the data path — policy constructor, engine,
+batched engine — must leave every simulated byte untouched, including
+against the pre-refactor golden rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ChurnSchedule,
+    ClusterTopology,
+    SimulationConfig,
+    StragglerInjector,
+    as_cluster_spec,
+    simulate_reads,
+)
+from repro.cluster.network import GoodputModel
+from repro.common import ClusterSpec, Gbps
+from repro.obs import RingBufferSink, Tracer, events as ev
+from repro.policies import ECCachePolicy, SelectiveReplicationPolicy, SPCachePolicy
+from repro.workloads import paper_fileset, poisson_trace
+from repro.workloads.bing import BingStragglerProfile
+
+GOLDEN = Path(__file__).parent / "golden_engine_parity.json"
+
+
+# -- membership semantics ---------------------------------------------------
+
+
+def test_fixed_topology_has_one_epoch():
+    topo = ClusterTopology.fixed(6)
+    assert topo.is_fixed
+    assert topo.n_epochs == 1
+    assert topo.n_servers == 6
+    assert topo.id_space == 6
+    assert tuple(topo.initial.server_ids) == tuple(range(6))
+    assert list(topo.events) == []
+
+
+def test_adds_get_fresh_ids_and_removes_are_lifo():
+    schedule = ChurnSchedule().add(10.0, 2).remove(20.0, 1)
+    topo = ClusterTopology(3, schedule)
+    assert [e.n_servers for e in topo.epochs] == [3, 5, 4]
+    assert tuple(topo.epochs[1].server_ids) == (0, 1, 2, 3, 4)
+    # Newest-first removal: server 4 (the youngest) leaves first.
+    assert tuple(topo.epochs[2].server_ids) == (0, 1, 2, 3)
+    assert topo.id_space == 5
+
+
+def test_ids_are_never_recycled():
+    schedule = ChurnSchedule().add(1.0, 1).remove(2.0, 1).add(3.0, 1)
+    topo = ClusterTopology(2, schedule)
+    # The re-add mints id 3; dead id 2 stays dead.
+    assert tuple(topo.final.server_ids) == (0, 1, 3)
+
+
+def test_same_timestamp_ops_fold_into_one_epoch():
+    schedule = ChurnSchedule().remove_ids(5.0, [1]).add(5.0, 1)
+    topo = ClusterTopology(3, schedule)
+    assert topo.n_epochs == 2
+    assert tuple(topo.final.server_ids) == (0, 2, 3)
+    assert len(topo.events) == 2
+
+
+def test_epoch_at_picks_the_enclosing_epoch():
+    topo = ClusterTopology(2, ChurnSchedule().add(10.0).add(20.0))
+    assert topo.epoch_at(0.0).index == 0
+    assert topo.epoch_at(9.999).index == 0
+    assert topo.epoch_at(10.0).index == 1
+    assert topo.epoch_at(1e9).index == 2
+
+
+def test_removing_everything_is_rejected():
+    with pytest.raises(ValueError):
+        ClusterTopology(2, ChurnSchedule().remove(1.0, 2))
+
+
+def test_dense_stable_roundtrip():
+    topo = ClusterTopology(4, ChurnSchedule().remove_ids(1.0, [1]))
+    epoch = topo.final
+    stable = np.array([0, 2, 3])
+    dense = epoch.to_dense(stable)
+    assert np.array_equal(epoch.stable_of[dense], stable)
+
+
+def test_diurnal_schedule_shape():
+    topo = ClusterTopology(
+        12,
+        ChurnSchedule.diurnal(t_peak=60.0, t_trough=240.0, amplitude=4, steps=2),
+    )
+    assert [e.n_servers for e in topo.epochs] == [12, 14, 16, 14, 12]
+    assert topo.final.server_ids == topo.initial.server_ids
+
+
+def test_emit_events_and_membership_section():
+    topo = ClusterTopology(3, ChurnSchedule().add(1.0).remove(2.0))
+    tracer = Tracer(RingBufferSink(64))
+    n = topo.emit_events(tracer)
+    records = [r for r in tracer.sink.records]
+    kinds = [r["event"] for r in records]
+    assert n == len(records) == 2 + 3  # 2 membership + 3 epoch events
+    assert kinds.count(ev.MEMBERSHIP) == 2
+    assert kinds.count(ev.EPOCH) == 3
+    section = topo.membership_section(scheme="x")
+    assert section["scheme"] == "x"
+    assert section["n_epochs"] == 3
+    assert [e["epoch"] for e in section["epochs"]] == [0, 1, 2]
+    assert json.dumps(section)  # JSON-able as a manifest section
+
+
+def test_as_cluster_spec_passthrough_and_epoch0():
+    spec = ClusterSpec(5, 2e8, client_bandwidth=1e9)
+    assert as_cluster_spec(spec) is spec
+    topo = ClusterTopology.fixed(5, bandwidth=2e8, client_bandwidth=1e9)
+    got = as_cluster_spec(topo)
+    assert got.n_servers == 5
+    assert np.array_equal(got.bandwidths, spec.bandwidths)
+    assert got.client_bandwidth == spec.client_bandwidth
+
+
+# -- fixed-topology byte parity ---------------------------------------------
+
+
+def _golden_scenario(cluster):
+    pop = paper_fileset(40, size_mb=20, zipf_exponent=1.1, total_rate=8.0)
+    policy = SPCachePolicy(pop, cluster, alpha=2e-7, seed=5)
+    trace = poisson_trace(pop, n_requests=400, seed=11)
+    return trace, policy, pop
+
+
+@pytest.mark.parametrize("discipline", ["fifo", "ps"])
+def test_fixed_topology_reproduces_pre_refactor_golden(discipline):
+    """ClusterTopology.fixed() pins the same bytes as the original
+    monolithic engines' golden rows."""
+    topo = ClusterTopology.fixed(6, bandwidth=1e8, client_bandwidth=4e8)
+    trace, policy, pop = _golden_scenario(topo)
+    config = SimulationConfig(
+        discipline=discipline,
+        jitter="exponential",
+        goodput=GoodputModel(),
+        stragglers=StragglerInjector(BingStragglerProfile(probability=0.2)),
+        cache_budget=pop.total_bytes * 0.6,
+        miss_penalty=2.0,
+        seed=23,
+    )
+    result = simulate_reads(trace, policy, topo, config)
+    golden = json.loads(GOLDEN.read_text())[discipline]
+    assert [float(x).hex() for x in result.latencies] == golden["latencies"]
+    assert [
+        float(x).hex() for x in result.server_bytes
+    ] == golden["server_bytes"]
+    assert result.hits == golden["hits"]
+    assert result.misses == golden["misses"]
+
+
+@pytest.mark.parametrize(
+    "make_policy",
+    [
+        lambda pop, c: SPCachePolicy(pop, c, seed=5),
+        lambda pop, c: SelectiveReplicationPolicy(pop, c, seed=5),
+        lambda pop, c: ECCachePolicy(pop, c, k=3, n=5, seed=5),
+    ],
+    ids=["sp-cache", "selective-replication", "ec-cache"],
+)
+@pytest.mark.parametrize("discipline", ["fifo", "ps", "limited(4)"])
+@pytest.mark.parametrize("batch_size", [None, 64])
+def test_topology_vs_spec_parity_across_policies(
+    make_policy, discipline, batch_size
+):
+    """Every policy and discipline, scalar and batched: spec in,
+    topology in, identical floats out."""
+    spec = ClusterSpec(6, 1e8, client_bandwidth=4e8)
+    topo = ClusterTopology.fixed(6, bandwidth=1e8, client_bandwidth=4e8)
+    pop = paper_fileset(30, size_mb=10, zipf_exponent=1.1, total_rate=6.0)
+    trace = poisson_trace(pop, n_requests=200, seed=11)
+    config = SimulationConfig(
+        discipline=discipline, seed=23, batch_size=batch_size
+    )
+    a = simulate_reads(trace, make_policy(pop, spec), spec, config)
+    b = simulate_reads(trace, make_policy(pop, topo), topo, config)
+    np.testing.assert_array_equal(a.latencies, b.latencies)
+    np.testing.assert_array_equal(a.server_bytes, b.server_bytes)
+    assert (a.hits, a.misses) == (b.hits, b.misses)
+
+
+def test_policy_exposes_topology_and_spec():
+    topo = ClusterTopology.fixed(4)
+    pop = paper_fileset(8)
+    policy = SPCachePolicy(pop, topo, seed=1)
+    assert policy.topology is topo
+    assert policy.cluster.n_servers == 4
+    spec_policy = SPCachePolicy(pop, ClusterSpec(4, Gbps), seed=1)
+    assert spec_policy.topology is None

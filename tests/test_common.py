@@ -15,6 +15,7 @@ from repro.common import (
     Mbps,
     make_rng,
     validate_probability_vector,
+    validate_server_count,
 )
 
 
@@ -129,3 +130,28 @@ class TestClusterSpec:
             ClusterSpec(n_servers=2, capacity=0.0)
         with pytest.raises(ValueError):
             ClusterSpec(n_servers=2, client_bandwidth=0.0)
+
+
+class TestValidateServerCount:
+    def test_accepts_ints_and_numpy_ints(self):
+        assert validate_server_count(3) == 3
+        got = validate_server_count(np.int64(5))
+        assert got == 5 and type(got) is int
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "3", True, None])
+    def test_rejects_non_positive_and_non_ints(self, bad):
+        with pytest.raises(ValueError, match="must be a positive integer"):
+            validate_server_count(bad)
+
+    def test_every_layer_shares_the_message(self):
+        """ClusterSpec, the store master, and the topology all fail
+        through the one helper with the same message shape."""
+        from repro.cluster import ClusterTopology
+        from repro.store import Master
+
+        with pytest.raises(ValueError, match="n_servers must be a positive"):
+            ClusterSpec(n_servers=-2)
+        with pytest.raises(ValueError, match="n_workers must be a positive"):
+            Master(0)
+        with pytest.raises(ValueError, match="n_servers must be a positive"):
+            ClusterTopology(0)

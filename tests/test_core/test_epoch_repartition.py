@@ -1,0 +1,117 @@
+"""Epoch-aware Algorithm 2: membership-forced moves, patching, accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ChurnSchedule, ClusterTopology
+from repro.common import MB, ClusterSpec, FilePopulation
+from repro.core import plan_epoch_repartition
+from repro.policies import SPCachePolicy
+from repro.workloads import paper_fileset
+
+
+def _layout(n_files=20, n_servers=6, seed=5):
+    pop = paper_fileset(n_files, size_mb=10, zipf_exponent=1.1, total_rate=4.0)
+    policy = SPCachePolicy(pop, ClusterSpec(n_servers, 1e9), seed=seed)
+    layout = [np.sort(np.asarray(s)) for s in policy.servers_of]
+    return pop, policy, policy.partition_counts(), layout
+
+
+def test_pure_add_with_stable_cap_moves_nothing():
+    pop, policy, ks, layout = _layout()
+    topo = ClusterTopology(6, ChurnSchedule().add(1.0, 2))
+    plan = plan_epoch_repartition(
+        pop, topo.final, ks, layout,
+        alpha=policy.alpha, max_partitions=6, id_space=topo.id_space,
+    )
+    assert plan.n_changed == 0
+    assert plan.moved_bytes == 0.0
+    assert plan.disruption_window_s == 0.0
+    for old, new in zip(layout, plan.new_servers_of):
+        assert np.array_equal(old, new)
+
+
+def test_removal_forces_only_hosting_files():
+    pop, policy, ks, layout = _layout()
+    # Replace server 2 with a fresh one at the same timestamp.
+    topo = ClusterTopology(
+        6, ChurnSchedule().remove_ids(1.0, [2]).add(1.0, 1)
+    )
+    epoch = topo.final
+    plan = plan_epoch_repartition(
+        pop, epoch, ks, layout,
+        alpha=policy.alpha, max_partitions=6, id_space=topo.id_space,
+    )
+    hosting = {i for i, s in enumerate(layout) if 2 in s}
+    assert set(np.nonzero(plan.changed)[0]) == hosting
+    assert set(np.nonzero(plan.epoch_forced)[0]) == hosting
+    # k is unchanged for every forced file, so every move is a patch.
+    assert plan.n_patched == plan.n_changed > 0
+    active = set(epoch.server_ids)
+    for i, servers in enumerate(plan.new_servers_of):
+        assert set(servers) <= active
+        assert np.unique(servers).size == servers.size
+        assert servers.size == plan.new_ks[i]
+        if i in hosting:
+            # Survivors stay put; only the lost slot was re-assigned.
+            survivors = set(layout[i]) - {2}
+            assert survivors <= set(servers)
+    # Patched bytes: each forced file re-pulls exactly one S_i/k_i slice.
+    expected = sum(pop.sizes[i] / plan.new_ks[i] for i in hosting)
+    assert plan.moved_bytes == pytest.approx(expected)
+
+
+def test_k_change_triggers_full_repartition():
+    sizes = np.full(4, 100.0) * MB
+    pop = FilePopulation(
+        sizes=sizes,
+        popularities=np.full(4, 0.25),
+        total_rate=4.0,
+    )
+    ks = np.full(4, 2, dtype=np.int64)
+    layout = [np.array([0, 1]), np.array([1, 2]), np.array([2, 3]),
+              np.array([3, 0])]
+    topo = ClusterTopology(4, ChurnSchedule().add(1.0, 2))
+    # alpha * L_i = 4 for every file: all re-scale 2 -> 4, full
+    # Algorithm 2, no patches.
+    plan = plan_epoch_repartition(
+        pop, topo.final, ks, layout,
+        alpha=16 / (100.0 * MB), id_space=topo.id_space,
+    )
+    assert plan.n_changed == 4
+    assert plan.n_patched == 0
+    assert np.all(plan.new_ks == 4)
+    assert np.all(plan.repartitioner_of[plan.changed] >= 0)
+    assert plan.moved_bytes > 0
+
+
+def test_disruption_window_is_slowest_server():
+    pop, policy, ks, layout = _layout()
+    topo = ClusterTopology(
+        6, ChurnSchedule().remove_ids(1.0, [0]).add(1.0, 1)
+    )
+    plan = plan_epoch_repartition(
+        pop, topo.final, ks, layout,
+        alpha=policy.alpha, max_partitions=6, id_space=topo.id_space,
+    )
+    bw = topo.final.spec.bandwidths[0]
+    expected = plan.per_server_bytes[list(topo.final.server_ids)].max() / bw
+    assert plan.disruption_window_s == pytest.approx(expected)
+
+
+def test_old_layout_shape_is_validated():
+    pop, policy, ks, layout = _layout()
+    topo = ClusterTopology(6, ChurnSchedule().add(1.0))
+    with pytest.raises(ValueError, match="cover every file"):
+        plan_epoch_repartition(pop, topo.final, ks[:-1], layout)
+
+
+def test_id_space_must_cover_active_ids():
+    pop, policy, ks, layout = _layout()
+    topo = ClusterTopology(6, ChurnSchedule().add(1.0))
+    with pytest.raises(ValueError, match="id_space"):
+        plan_epoch_repartition(
+            pop, topo.final, ks, layout, alpha=policy.alpha, id_space=6
+        )

@@ -1,0 +1,141 @@
+"""Consistent-hash ring: stability, balance, and relocation bounds.
+
+The headline property (the reason the ring exists as a churn baseline):
+adding one server to an ``N``-server ring relocates on the order of
+``1/N`` of keys — bounded here at ``2/N`` — while hash-mod relocates
+almost everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import (
+    HashRing,
+    hash_mod_assignment,
+    place_hash_mod,
+    place_on_ring,
+    relocated_fraction,
+    ring_assignment,
+)
+
+KEYS = np.arange(2048)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_servers=st.integers(min_value=4, max_value=24),
+    new_id=st.integers(min_value=100, max_value=10_000),
+)
+def test_single_add_relocates_about_one_nth_on_ring(n_servers, new_id):
+    server_ids = list(range(n_servers))
+    before = ring_assignment(KEYS, server_ids)
+    after = ring_assignment(KEYS, server_ids + [new_id])
+    frac = relocated_fraction(before, after)
+    assert frac <= 2.0 / n_servers
+    # Keys that did move all moved *to* the new server — the ring never
+    # shuffles ownership between surviving servers.
+    moved = before != after
+    assert frac > 0.0
+    assert set(after[moved]) == {new_id}
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_servers=st.integers(min_value=4, max_value=24))
+def test_single_add_relocates_most_keys_under_hash_mod(n_servers):
+    server_ids = list(range(n_servers))
+    before = hash_mod_assignment(KEYS, server_ids)
+    after = hash_mod_assignment(KEYS, server_ids + [n_servers])
+    # Expectation is (N-1)/N ≈ 1 - 1/N; allow generous slack below it.
+    assert relocated_fraction(before, after) >= 0.5
+
+
+def test_ring_beats_hash_mod_on_single_node_change():
+    server_ids = list(range(12))
+    ring_frac = relocated_fraction(
+        ring_assignment(KEYS, server_ids),
+        ring_assignment(KEYS, server_ids + [12]),
+    )
+    mod_frac = relocated_fraction(
+        hash_mod_assignment(KEYS, server_ids),
+        hash_mod_assignment(KEYS, server_ids + [12]),
+    )
+    assert ring_frac < mod_frac
+
+
+def test_remove_only_relocates_departed_servers_keys():
+    server_ids = list(range(10))
+    before = ring_assignment(KEYS, server_ids)
+    after = ring_assignment(KEYS, [s for s in server_ids if s != 3])
+    moved = before != after
+    assert set(before[moved]) == {3}
+    assert not np.any(after == 3)
+
+
+def test_assignment_is_deterministic_and_order_independent():
+    a = ring_assignment(KEYS, [5, 1, 9, 2])
+    b = ring_assignment(KEYS, [2, 9, 1, 5])
+    assert np.array_equal(a, b)
+
+
+def test_ring_balance_is_tolerable():
+    """Virtual nodes keep the per-server share within a few x of fair."""
+    assignment = ring_assignment(np.arange(20_000), list(range(10)))
+    counts = np.bincount(assignment, minlength=10)
+    assert counts.min() > 0
+    assert counts.max() / (20_000 / 10) < 2.0
+
+
+def test_incremental_add_remove_matches_fresh_ring():
+    ring = HashRing(range(8))
+    ring.add_server(99)
+    ring.remove_server(2)
+    fresh = HashRing([s for s in range(8) if s != 2] + [99])
+    assert np.array_equal(ring.assign(KEYS), fresh.assign(KEYS))
+
+
+def test_servers_for_returns_k_distinct_servers():
+    ring = HashRing(range(6))
+    for key in (0, 17, 123456):
+        got = ring.servers_for(key, 4)
+        assert got.size == 4
+        assert np.unique(got).size == 4
+        assert set(got) <= set(range(6))
+
+
+@pytest.mark.parametrize("placer", [place_on_ring, place_hash_mod])
+def test_placements_are_distinct_and_active(placer):
+    ks = np.array([1, 3, 6, 4, 2])
+    server_ids = [0, 1, 4, 5, 7, 9]
+    layout = placer(ks, server_ids)
+    assert len(layout) == ks.size
+    for k, servers in zip(ks, layout):
+        assert servers.size == k
+        assert np.unique(servers).size == k
+        assert set(servers) <= set(server_ids)
+
+
+def test_place_on_ring_overlap_survives_membership_change():
+    """Most partition placements survive a single-server add."""
+    ks = np.full(50, 4)
+    old = place_on_ring(ks, list(range(12)))
+    new = place_on_ring(ks, list(range(13)))
+    overlap = sum(
+        np.intersect1d(o, n).size for o, n in zip(old, new)
+    ) / sum(ks)
+    assert overlap > 0.6
+
+
+def test_ring_errors():
+    ring = HashRing(range(3))
+    with pytest.raises(ValueError):
+        ring.add_server(1)  # duplicate
+    with pytest.raises(ValueError):
+        ring.remove_server(17)
+    with pytest.raises(ValueError):
+        ring.servers_for(0, 4)  # k > len(ring)
+    with pytest.raises(ValueError):
+        HashRing([]).server_for(1)

@@ -15,6 +15,7 @@ from repro.experiments.fig11_partition_sizes import run_fig11
 from repro.experiments.fig16_repartition import run_fig16
 from repro.experiments.fig16_sketch import run_fig16_sketch
 from repro.experiments.fig22_write_latency import run_fig22
+from repro.experiments.fig_churn import run_fig_churn
 from repro.experiments.registry import load_all
 from repro.experiments.skew_resilience import (
     compare_schemes,
@@ -84,6 +85,37 @@ def test_fig22_sp_fastest_writer():
         assert r["sp_write_s"] <= r["rep_write_s"]
 
 
+def test_fig_churn_movement_ordering():
+    """The churn claims: sp-cache rides pure adds/drains for free, the
+    ring relocates ~1/N keys per single-server change, hash-mod
+    relocates almost everything."""
+    rows = run_fig_churn(scale=0.1)
+    by = {(r["strategy"], r["epoch"]): r for r in rows}
+    n_epochs = 1 + max(e for _, e in by)
+    assert {s for s, _ in by} == {"hash-mod", "ring", "sp-cache"}
+
+    # Diurnal epochs 1..4 add/drain only empty-handed servers: free for
+    # sp-cache, paid by both hash baselines.
+    for e in range(1, n_epochs - 1):
+        assert by["sp-cache", e]["moved_mb"] == 0.0
+        assert by["sp-cache", e]["disruption_s"] == 0.0
+        assert by["hash-mod", e]["moved_mb"] > 0
+        assert by["ring", e]["moved_mb"] > 0
+        # Single-partition owner churn: ring stays near 1/N (2 servers
+        # change per diurnal step -> allow 2 * 2/N), hash-mod reshuffles.
+        assert by["ring", e]["moved_key_frac"] <= 4.0 / 12.0
+        assert by["hash-mod", e]["moved_key_frac"] >= 0.5
+
+    # The final epoch replaces a data-holding server: everyone pays, and
+    # the disruption inflates the p99 while the move is in flight.
+    last = n_epochs - 1
+    for strategy in ("hash-mod", "ring", "sp-cache"):
+        r = by[strategy, last]
+        assert r["moved_mb"] > 0
+        assert r["disruption_s"] > 0
+        assert r["p99_disrupted_s"] >= r["p99_steady_s"]
+
+
 def test_theorem1_monte_carlo_close():
     rows = run_theorem1(n_files=80, n_servers=120, n_trials=3000)
     vals = {r["quantity"]: r["value"] for r in rows}
@@ -104,7 +136,8 @@ def test_registry_covers_every_experiment():
     expected = {
         "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig08",
         "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-        "fig16_sketch", "fig19", "fig20", "fig21", "fig22", "theorem1",
+        "fig16_sketch", "fig19", "fig20", "fig21", "fig22", "fig_churn",
+        "theorem1",
     }
     specs = load_all()
     assert set(specs) == expected

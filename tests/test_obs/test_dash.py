@@ -183,6 +183,66 @@ class TestRenderFrame:
         assert "1 unknown event records skipped" in render_frame(board)
 
 
+class TestMembershipPanel:
+    def _topology_events(self):
+        return [
+            {"event": "epoch", "ts": 0.0, "epoch": 0, "n_servers": 3,
+             "added": [], "removed": []},
+            {"event": "membership", "ts": 10.0, "kind": "add",
+             "server_id": 3},
+            {"event": "epoch", "ts": 10.0, "epoch": 1, "n_servers": 4,
+             "added": [3], "removed": []},
+            {"event": "repartition_time", "mode": "epoch", "epoch": 1,
+             "seconds": 0.5, "moved_bytes": 1024.0},
+        ]
+
+    def test_trace_fold_tracks_epochs(self):
+        board = DashBoard()
+        board.feed_many(self._topology_events())
+        assert board.n_servers == 4
+        assert board.current_epoch == 1
+        assert board.last_membership_event["server_id"] == 3
+        assert board.membership[1]["added"] == 1
+        assert board.membership[1]["moved"]["plan"] == 1024.0
+        assert board.n_unknown == 0
+
+    def test_membership_panel_renders_without_sim_events(self):
+        board = DashBoard()
+        board.feed_many(self._topology_events())
+        frame = render_frame(board)
+        assert "== cluster membership ==  servers=4  epoch=1" in frame
+        assert "last event: add s3 at t=10.0s" in frame
+        assert "plan=1.0KiB" in frame
+
+    def test_manifest_membership_sections_fold(self):
+        manifest = {
+            "schema_version": 7,
+            "metrics": {},
+            "membership": [
+                {
+                    "scheme": "ring",
+                    "n_epochs": 2,
+                    "epochs": [
+                        {"epoch": 0, "t_start": 0.0, "n_servers": 3,
+                         "added": [], "removed": [], "moved_bytes": 0.0},
+                        {"epoch": 1, "t_start": 10.0, "n_servers": 4,
+                         "added": [3], "removed": [],
+                         "moved_bytes": 2048.0},
+                    ],
+                    "events": [
+                        {"t": 10.0, "kind": "add", "server_id": 3},
+                    ],
+                },
+            ],
+        }
+        board = dash_from_manifest(manifest)
+        assert board.n_servers == 4
+        frame = render_frame(board)
+        assert "== cluster membership ==" in frame
+        assert "ring=2.0KiB" in frame
+        assert "last event: add s3 at t=10.0s" in frame
+
+
 class TestFollowLines:
     def test_only_complete_lines_yielded(self, tmp_path):
         path = tmp_path / "t.jsonl"

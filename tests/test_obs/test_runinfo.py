@@ -92,6 +92,8 @@ def test_write_and_load_roundtrip(tmp_path):
         {"slo": [{"no": "scheme"}]},
         {"causal": "not a list"},
         {"causal": [{"no": "scheme"}]},
+        {"membership": "not a list"},
+        {"membership": [{"no": "epochs"}]},
         {"peak_rss_bytes": "big"},
         {"peak_rss_bytes": -1},
         {"total_requests": -5},
@@ -122,7 +124,7 @@ def test_build_manifest_carries_timeline_sections():
     section = {"scheme": "sp-cache", "engine": "ps", "n_windows": 3}
     m = build_manifest("figZ", [], wall_s=0.0, timelines=[section])
     assert m["timelines"] == [section]
-    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 6
+    assert m["schema_version"] == MANIFEST_SCHEMA_VERSION == 7
 
 
 def test_build_manifest_carries_causal_sections():
@@ -141,6 +143,26 @@ def test_v5_manifest_without_causal_still_loads():
     m = _manifest()
     m["schema_version"] = 5
     del m["causal"]
+    del m["membership"]
+    assert validate_manifest(m) is m
+
+
+def test_build_manifest_carries_membership_sections():
+    section = {
+        "scheme": "sp-cache",
+        "n_epochs": 2,
+        "epochs": [{"epoch": 0, "n_servers": 4}, {"epoch": 1, "n_servers": 5}],
+    }
+    m = build_manifest("figZ", [], wall_s=0.0, membership=[section])
+    assert m["membership"] == [section]
+    assert validate_manifest(m) is m
+
+
+def test_v6_manifest_without_membership_still_loads():
+    """Manifests written before the membership key keep validating."""
+    m = _manifest()
+    m["schema_version"] = 6
+    del m["membership"]
     assert validate_manifest(m) is m
 
 

@@ -207,3 +207,25 @@ def test_non_timeline_experiment_manifest_has_empty_sections(tmp_path, capsys):
     manifest = load_manifest(tmp_path / "fig10.json")
     assert manifest["timelines"] == []
     assert manifest["config"]["timelines"] is False
+    assert manifest["membership"] == []
+
+
+def test_churn_experiment_manifest_carries_membership(tmp_path, capsys):
+    """fig_churn publishes one schema-valid membership section per
+    placement strategy, with per-epoch bytes-moved accounting."""
+    assert main(["--only", "fig_churn", "--scale", "0.1",
+                 "--out", str(tmp_path)]) == 0
+    manifest = load_manifest(tmp_path / "fig_churn.json")
+    assert validate_manifest(manifest) is manifest
+    sections = manifest["membership"]
+    assert {s["scheme"] for s in sections} == {
+        "hash-mod", "ring", "sp-cache"
+    }
+    for section in sections:
+        assert section["n_epochs"] == len(section["epochs"]) >= 2
+        assert section["events"]
+        for entry in section["epochs"]:
+            assert entry["moved_bytes"] >= 0.0
+            assert entry["disruption_window_s"] >= 0.0
+        # The epoch-0 baseline never moves anything.
+        assert section["epochs"][0]["moved_bytes"] == 0.0

@@ -1,0 +1,156 @@
+"""Elastic membership in the store: grow/drain workers, recovery across
+epochs, and the sharper ``ServerRemovedError`` diagnosis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ChurnSchedule, ClusterTopology
+from repro.store import Master, ServerRemovedError, StoreClient, Worker
+
+
+def make_store(n_workers=4, seed=0):
+    master = Master(n_workers, seed=seed)
+    workers = [Worker(i) for i in range(n_workers)]
+    return StoreClient(master, workers, seed=seed)
+
+
+def random_bytes(n, seed=0):
+    return bytes(
+        np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8)
+    )
+
+
+# -- master membership ------------------------------------------------------
+
+
+def test_grow_extends_id_space():
+    master = Master(3, seed=0)
+    new_ids = master.grow(2)
+    assert new_ids == [3, 4]
+    assert master.n_workers == 5
+    assert master.n_active == 5
+
+
+def test_deactivate_excludes_from_placement():
+    master = Master(4, seed=0)
+    master.deactivate_worker(1)
+    assert master.n_active == 3
+    assert not master.is_active(1)
+    for _ in range(50):
+        assert 1 not in master.choose_random_workers(3)
+        assert 1 not in master.choose_least_loaded_workers(3)
+    with pytest.raises(ValueError):
+        master.choose_random_workers(4)  # only 3 active
+
+
+def test_cannot_drain_the_last_worker():
+    master = Master(2, seed=0)
+    master.deactivate_worker(0)
+    with pytest.raises(ValueError):
+        master.deactivate_worker(1)
+    master.activate_worker(0)
+    master.deactivate_worker(1)
+    assert master.active_workers == [0]
+
+
+def test_deactivate_unknown_worker_rejected():
+    master = Master(2, seed=0)
+    with pytest.raises(ValueError):
+        master.deactivate_worker(5)
+
+
+# -- epoch application ------------------------------------------------------
+
+
+def test_apply_epoch_grows_and_drains():
+    client = make_store(n_workers=3)
+    topo = ClusterTopology(
+        3, ChurnSchedule().add(10.0, 1).remove_ids(20.0, [1])
+    )
+    client.apply_epoch(topo.final)
+    assert client.master.n_workers == 4  # id space covers the add
+    assert client.master.active_workers == [0, 2, 3]
+    assert client.removed == {1}
+    assert len(client.workers) == 4
+
+
+def test_apply_epoch_is_idempotent_and_reversible():
+    client = make_store(n_workers=3)
+    topo = ClusterTopology(3, ChurnSchedule().remove_ids(5.0, [2]))
+    client.apply_epoch(topo.final)
+    client.apply_epoch(topo.final)
+    assert client.master.active_workers == [0, 1]
+    client.apply_epoch(topo.initial)
+    assert client.master.active_workers == [0, 1, 2]
+    assert client.removed == set()
+
+
+# -- recovery through a membership change -----------------------------------
+
+
+def _drain_worker_of(client, file_id):
+    """Apply an epoch that removes the first worker holding file_id."""
+    lost = client.master.meta(file_id).locations[0].worker_id
+    n = client.master.n_workers
+    topo = ClusterTopology(
+        n, ChurnSchedule().remove_ids(1.0, [lost]).add(1.0, 1)
+    )
+    client.apply_epoch(topo.final)
+    return lost, topo
+
+
+def test_checkpointed_file_recovers_and_replaces_off_removed_worker():
+    client = make_store(n_workers=4)
+    data = random_bytes(900, seed=3)
+    client.write(7, data, k=3)
+    client.checkpoint(7)
+    lost, _ = _drain_worker_of(client, 7)
+    assert client.read(7) == data
+    meta = client.master.meta(7)
+    workers = {loc.worker_id for loc in meta.locations}
+    assert lost not in workers
+    assert len(workers) == 3
+    # And the re-placed copy serves without touching the dead worker.
+    assert client.read(7) == data
+
+
+def test_lineage_file_recovers_through_epoch_change():
+    client = make_store(n_workers=4)
+    parent = random_bytes(400, seed=4)
+    client.write(1, parent, k=2)
+    client.checkpoint(1)
+    derived = bytes(b ^ 0xFF for b in parent)
+    client.write(2, derived, k=3)
+    client.lineage.register(
+        2, (1,), lambda inputs: bytes(b ^ 0xFF for b in inputs[0])
+    )
+    lost, _ = _drain_worker_of(client, 2)
+    assert client.read(2) == derived
+    workers = {loc.worker_id for loc in client.master.meta(2).locations}
+    assert lost not in workers
+
+
+def test_unpersisted_file_raises_server_removed_error():
+    client = make_store(n_workers=4)
+    client.write(9, random_bytes(300, seed=5), k=2)
+    lost, _ = _drain_worker_of(client, 9)
+    with pytest.raises(ServerRemovedError) as exc_info:
+        client.read(9)
+    err = exc_info.value
+    assert err.file_id == 9
+    assert err.server_id == lost
+    assert "removed from the cluster" in str(err)
+    assert isinstance(err, KeyError)  # old callers still catch it
+
+
+def test_plain_eviction_still_raises_plain_keyerror():
+    """Without a membership change, the old diagnosis is unchanged."""
+    client = make_store(n_workers=4)
+    meta = client.write(3, random_bytes(200, seed=6), k=2)
+    for loc in meta.locations:
+        client.workers[loc.worker_id].delete_block(3, loc.index)
+    with pytest.raises(KeyError) as exc_info:
+        client.read(3)
+    assert not isinstance(exc_info.value, ServerRemovedError)
